@@ -1,0 +1,159 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section, plus Bechamel micro-benchmarks of the protocol
+   primitives.
+
+   Usage:
+     dune exec bench/main.exe                -- everything, default scale
+     dune exec bench/main.exe -- table2      -- one artifact
+     dune exec bench/main.exe -- --scale full --nodes 8,32,64 table2
+     dune exec bench/main.exe -- micro       -- Bechamel micro-benchmarks
+
+   Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
+   sor-zero aurc ablation-homes ablation-network ablation-pagesize
+   ablation-locks ablation-migration micro all *)
+
+let default_nodes = [ 8; 32; 64 ]
+
+type options = {
+  mutable scale : Apps.Registry.scale;
+  mutable nodes : int list;
+  mutable verify : bool;
+  mutable artifacts : string list;
+}
+
+let parse_args () =
+  let o = { scale = Apps.Registry.Bench; nodes = default_nodes; verify = true; artifacts = [] } in
+  let rec go = function
+    | [] -> ()
+    | "--scale" :: s :: rest ->
+        (o.scale <-
+          (match String.lowercase_ascii s with
+          | "test" -> Apps.Registry.Test
+          | "bench" -> Apps.Registry.Bench
+          | "full" -> Apps.Registry.Full
+          | other -> failwith (Printf.sprintf "unknown scale %S" other)));
+        go rest
+    | "--nodes" :: s :: rest ->
+        o.nodes <- List.map int_of_string (String.split_on_char ',' s);
+        go rest
+    | "--no-verify" :: rest ->
+        o.verify <- false;
+        go rest
+    | arg :: rest ->
+        o.artifacts <- o.artifacts @ [ String.lowercase_ascii arg ];
+        go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if o.artifacts = [] then o.artifacts <- [ "all" ];
+  o
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot protocol primitives             *)
+
+let micro () =
+  let open Bechamel in
+  let page_words = 1024 in
+  let twin = Array.init page_words (fun i -> float_of_int i) in
+  let sparse = Array.mapi (fun i v -> if i mod 16 = 0 then v +. 1.0 else v) twin in
+  let dense = Array.map (fun v -> v +. 1.0) twin in
+  let sparse_diff = Mem.Diff.create ~page:0 ~twin ~current:sparse in
+  let dense_diff = Mem.Diff.create ~page:0 ~twin ~current:dense in
+  let target = Array.copy twin in
+  let vt_a = Proto.Vclock.create ~nprocs:64 in
+  let vt_b = Proto.Vclock.create ~nprocs:64 in
+  for i = 0 to 63 do
+    Proto.Vclock.set vt_b i (i * 3)
+  done;
+  let tests =
+    [
+      Test.make ~name:"diff-create-sparse"
+        (Staged.stage (fun () -> ignore (Mem.Diff.create ~page:0 ~twin ~current:sparse)));
+      Test.make ~name:"diff-create-dense"
+        (Staged.stage (fun () -> ignore (Mem.Diff.create ~page:0 ~twin ~current:dense)));
+      Test.make ~name:"diff-apply-sparse"
+        (Staged.stage (fun () -> Mem.Diff.apply sparse_diff target));
+      Test.make ~name:"diff-apply-dense"
+        (Staged.stage (fun () -> Mem.Diff.apply dense_diff target));
+      Test.make ~name:"twin-copy" (Staged.stage (fun () -> ignore (Array.copy twin)));
+      Test.make ~name:"vclock-merge"
+        (Staged.stage (fun () -> Proto.Vclock.merge_into vt_a vt_b));
+      Test.make ~name:"vclock-leq" (Staged.stage (fun () -> ignore (Proto.Vclock.leq vt_a vt_b)));
+      Test.make ~name:"event-queue-push-pop"
+        (Staged.stage (fun () ->
+             let h = Sim.Heap.create () in
+             for i = 0 to 63 do
+               Sim.Heap.push h ~key:(float_of_int ((i * 7919) mod 101)) i
+             done;
+             while not (Sim.Heap.is_empty h) do
+               ignore (Sim.Heap.pop_min h)
+             done));
+    ]
+  in
+  let benchmark test =
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    Benchmark.all cfg [ instance ] test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  Format.printf "@.=== Micro-benchmarks (Bechamel) ===@.@.";
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Bechamel.Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-24s %12.1f ns/op@." name est
+          | _ -> Format.printf "%-24s (no estimate)@." name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let o = parse_args () in
+  let ppf = Format.std_formatter in
+  let m = Harness.Matrix.create ~verify:o.verify ~scale:o.scale () in
+  Harness.Matrix.on_progress m (fun s -> Format.eprintf "  [%s]@." s);
+  let run = function
+    | "table1" -> Harness.Tables.table1 ppf m
+    | "table2" -> Harness.Tables.table2 ppf m ~node_counts:o.nodes
+    | "table3" -> Harness.Tables.table3 ppf
+    | "table4" -> Harness.Tables.table4 ppf m ~node_counts:o.nodes
+    | "table5" -> Harness.Tables.table5 ppf m ~node_counts:o.nodes
+    | "table6" -> Harness.Tables.table6 ppf m ~node_counts:o.nodes
+    | "figure3" -> Harness.Tables.figure3 ppf m ~node_counts:o.nodes
+    | "figure4" -> Harness.Tables.figure4 ppf m ~node_counts:o.nodes ~epoch:9
+    | "sor-zero" -> Harness.Tables.sor_zero ppf m ~node_counts:o.nodes
+    | "ablation-homes" -> Harness.Ablations.home_placement ppf ~scale:o.scale ~node_counts:o.nodes
+    | "ablation-network" ->
+        Harness.Ablations.network_sensitivity ppf ~scale:o.scale ~node_counts:o.nodes
+    | "ablation-pagesize" -> Harness.Ablations.page_size ppf ~scale:o.scale ~node_counts:o.nodes
+    | "ablation-locks" -> Harness.Ablations.coproc_locks ppf ~scale:o.scale ~node_counts:o.nodes
+    | "aurc" | "protocols" -> Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes
+    | "ablation-migration" ->
+        Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes
+    | "micro" -> micro ()
+    | "all" ->
+        Harness.Tables.table1 ppf m;
+        Harness.Tables.table2 ppf m ~node_counts:o.nodes;
+        Harness.Tables.table3 ppf;
+        Harness.Tables.table4 ppf m ~node_counts:o.nodes;
+        Harness.Tables.table5 ppf m ~node_counts:o.nodes;
+        Harness.Tables.table6 ppf m ~node_counts:o.nodes;
+        Harness.Tables.figure3 ppf m ~node_counts:o.nodes;
+        Harness.Tables.figure4 ppf m ~node_counts:o.nodes ~epoch:9;
+        Harness.Tables.sor_zero ppf m ~node_counts:o.nodes;
+        Harness.Ablations.home_placement ppf ~scale:o.scale ~node_counts:o.nodes;
+        Harness.Ablations.network_sensitivity ppf ~scale:o.scale ~node_counts:o.nodes;
+        Harness.Ablations.page_size ppf ~scale:o.scale ~node_counts:o.nodes;
+        Harness.Ablations.coproc_locks ppf ~scale:o.scale ~node_counts:o.nodes;
+        Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes;
+        Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes;
+        micro ()
+    | other -> failwith (Printf.sprintf "unknown artifact %S" other)
+  in
+  List.iter run o.artifacts;
+  Format.pp_print_flush ppf ()

@@ -1,0 +1,1 @@
+examples/adaptive_homes.ml: Array List Printf Svm

@@ -1,0 +1,1 @@
+examples/matrix_solver.ml: Apps List Printf Svm

@@ -1,0 +1,1 @@
+examples/task_farm.ml: Array List Printf Svm

@@ -1,0 +1,82 @@
+(* A self-balancing task farm on shared virtual memory.
+
+   Renders rows of the Mandelbrot set with a shared work queue protected by
+   a lock — the task-queue idiom the paper's Raytrace benchmark relies on.
+   Row costs are wildly uneven (points inside the set iterate to the cap),
+   so dynamic assignment through shared memory beats a static split; the
+   example prints how many rows each node ended up computing.
+
+     dune exec examples/task_farm.exe *)
+
+let width = 160
+
+let height = 120
+
+let max_iter = 200
+
+let mandel_row y =
+  let escaped = ref 0 in
+  for x = 0 to width - 1 do
+    let cr = (3.0 *. float_of_int x /. float_of_int width) -. 2.2 in
+    let ci = (2.4 *. float_of_int y /. float_of_int height) -. 1.2 in
+    let rec iter zr zi n =
+      if n >= max_iter then n
+      else if (zr *. zr) +. (zi *. zi) > 4.0 then n
+      else iter ((zr *. zr) -. (zi *. zi) +. cr) ((2.0 *. zr *. zi) +. ci) (n + 1)
+    in
+    if iter 0. 0. 0 < max_iter then incr escaped
+  done;
+  !escaped
+
+let app ctx =
+  let me = Svm.Api.pid ctx in
+  if me = 0 then begin
+    ignore (Svm.Api.malloc ctx ~name:"next_row" 1);
+    ignore (Svm.Api.malloc ctx ~name:"row_owner" height);
+    ignore (Svm.Api.malloc ctx ~name:"row_result" height)
+  end;
+  Svm.Api.barrier ctx;
+  let next_row = Svm.Api.root ctx "next_row" in
+  let row_owner = Svm.Api.root ctx "row_owner" in
+  let row_result = Svm.Api.root ctx "row_result" in
+  let rec work () =
+    Svm.Api.lock ctx 0;
+    let row = Svm.Api.read_int ctx next_row in
+    if row < height then Svm.Api.write_int ctx next_row (row + 1);
+    Svm.Api.unlock ctx 0;
+    if row < height then begin
+      let result = mandel_row row in
+      (* Simulated cost proportional to the row's real work. *)
+      Svm.Api.compute ctx (float_of_int (result + width) *. 2.0);
+      Svm.Api.write_int ctx (row_result + row) result;
+      Svm.Api.write_int ctx (row_owner + row) me;
+      work ()
+    end
+  in
+  work ();
+  Svm.Api.barrier ctx;
+  if me = 0 then begin
+    let np = Svm.Api.nprocs ctx in
+    let counts = Array.make np 0 in
+    let total = ref 0 in
+    for row = 0 to height - 1 do
+      counts.(Svm.Api.read_int ctx (row_owner + row)) <-
+        counts.(Svm.Api.read_int ctx (row_owner + row)) + 1;
+      total := !total + Svm.Api.read_int ctx (row_result + row)
+    done;
+    Printf.printf "  %d escaped-point rows total; rows per node:" !total;
+    Array.iter (fun c -> Printf.printf " %d" c) counts;
+    print_newline ()
+  end;
+  Svm.Api.barrier ctx
+
+let () =
+  List.iter
+    (fun protocol ->
+      Printf.printf "%s:\n" (Svm.Config.protocol_name protocol);
+      let cfg = Svm.Config.make ~nprocs:8 protocol in
+      let r = Svm.Runtime.run cfg app in
+      Printf.printf "  %.1f ms simulated, %d messages\n\n"
+        (r.Svm.Runtime.r_elapsed /. 1e3)
+        (Svm.Runtime.total_messages r))
+    Svm.Config.all_protocols

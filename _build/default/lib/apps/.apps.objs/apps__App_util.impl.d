@@ -1,0 +1,1 @@
+lib/apps/app_util.ml: Array Float Format Sim Svm

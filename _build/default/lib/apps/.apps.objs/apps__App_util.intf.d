@@ -1,0 +1,1 @@
+lib/apps/app_util.mli: Format Svm

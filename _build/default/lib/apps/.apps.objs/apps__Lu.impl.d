@@ -1,0 +1,1 @@
+lib/apps/lu.ml: App_util Array Lazy List Svm

@@ -1,0 +1,1 @@
+lib/apps/raytrace.ml: App_util Array Float Lazy Svm

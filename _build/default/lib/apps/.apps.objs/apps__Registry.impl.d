@@ -1,0 +1,1 @@
+lib/apps/registry.ml: List Lu Printf Raytrace Sor String Svm Water_nsq Water_spatial

@@ -1,0 +1,1 @@
+lib/apps/sor.ml: App_util Array Lazy Svm

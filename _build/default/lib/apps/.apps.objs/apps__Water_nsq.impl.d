@@ -1,0 +1,1 @@
+lib/apps/water_nsq.ml: App_util Array Lazy Svm

@@ -1,0 +1,1 @@
+lib/apps/water_spatial.ml: App_util Array Float Lazy List Svm

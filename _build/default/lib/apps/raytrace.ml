@@ -1,0 +1,197 @@
+(* Raytrace: render a sphere scene with distributed task queues and task
+   stealing (Splash-2 "Raytrace", simplified shading, same sharing
+   structure).
+
+   The scene (spheres + light) is read-only shared data. The image plane is
+   partitioned into square tiles; tile ids are distributed over per-processor
+   task queues in shared memory, each protected by a lock. A processor pops
+   work from its own queue and steals from others when empty. Pixel writes
+   and queue operations are fine-grained and heavily false-shared at page
+   level — the paper's hardest case for SVM, where homeless LRC collapses at
+   scale (§4.2). *)
+
+type params = {
+  width : int;
+  height : int;
+  tile : int;  (* tile side, must divide width and height *)
+  spheres : int;
+  flop_us : float;
+  seed : int;
+}
+
+let default = { width = 64; height = 64; tile = 8; spheres = 12; flop_us = 0.05; seed = 23 }
+
+let name = "Raytrace"
+
+(* Scene construction: deterministic spheres in front of the camera, one
+   directional light. Sphere k: center, radius, diffuse albedo. *)
+type sphere = { cx : float; cy : float; cz : float; r : float; albedo : float }
+
+let make_scene p =
+  Array.init p.spheres (fun k ->
+      let f d = App_util.det_float ~seed:(p.seed + d) k in
+      {
+        cx = (2.0 *. f 0) -. 1.0;
+        cy = (2.0 *. f 1) -. 1.0;
+        cz = 2.0 +. (2.0 *. f 2);
+        r = 0.15 +. (0.25 *. f 3);
+        albedo = 0.3 +. (0.7 *. f 4);
+      })
+
+let light = (0.577, -0.577, -0.577) (* towards the scene *)
+
+(* Ray-sphere intersection: returns the smallest positive t. *)
+let intersect ~ox ~oy ~oz ~dx ~dy ~dz s =
+  let lx = s.cx -. ox and ly = s.cy -. oy and lz = s.cz -. oz in
+  let tca = (lx *. dx) +. (ly *. dy) +. (lz *. dz) in
+  let d2 = (lx *. lx) +. (ly *. ly) +. (lz *. lz) -. (tca *. tca) in
+  let r2 = s.r *. s.r in
+  if d2 > r2 then None
+  else
+    let thc = sqrt (r2 -. d2) in
+    let t0 = tca -. thc and t1 = tca +. thc in
+    if t0 > 1e-6 then Some t0 else if t1 > 1e-6 then Some t1 else None
+
+let closest_hit scene ~ox ~oy ~oz ~dx ~dy ~dz =
+  Array.fold_left
+    (fun acc s ->
+      match intersect ~ox ~oy ~oz ~dx ~dy ~dz s with
+      | None -> acc
+      | Some t -> ( match acc with Some (t', _) when t' <= t -> acc | _ -> Some (t, s)))
+    None scene
+
+(* Shade one pixel: primary ray from the origin through the image plane at
+   z = 1, Lambertian shading with a shadow ray. Pure function of (scene,
+   pixel), so every processor computes the identical value. *)
+let render_pixel p scene px py =
+  let fw = float_of_int p.width and fh = float_of_int p.height in
+  let dx = ((float_of_int px +. 0.5) /. fw) -. 0.5 in
+  let dy = ((float_of_int py +. 0.5) /. fh) -. 0.5 in
+  let norm = sqrt ((dx *. dx) +. (dy *. dy) +. 1.0) in
+  let dx = dx /. norm and dy = dy /. norm and dz = 1.0 /. norm in
+  match closest_hit scene ~ox:0. ~oy:0. ~oz:0. ~dx ~dy ~dz with
+  | None -> 0.05 (* background *)
+  | Some (t, s) ->
+      let hx = t *. dx and hy = t *. dy and hz = t *. dz in
+      let nx = (hx -. s.cx) /. s.r and ny = (hy -. s.cy) /. s.r and nz = (hz -. s.cz) /. s.r in
+      let lx, ly, lz = light in
+      let ndotl = Float.max 0. (-.((nx *. lx) +. (ny *. ly) +. (nz *. lz))) in
+      let shadow_origin_x = hx +. (1e-4 *. nx)
+      and shadow_origin_y = hy +. (1e-4 *. ny)
+      and shadow_origin_z = hz +. (1e-4 *. nz) in
+      let shadowed =
+        closest_hit scene ~ox:shadow_origin_x ~oy:shadow_origin_y ~oz:shadow_origin_z
+          ~dx:(-.lx) ~dy:(-.ly) ~dz:(-.lz)
+        <> None
+      in
+      if shadowed then 0.05 +. (0.05 *. s.albedo) else 0.05 +. (s.albedo *. ndotl)
+
+let flops_per_pixel p = float_of_int ((p.spheres * 40) + 60)
+
+let reference p =
+  let scene = make_scene p in
+  Array.init (p.width * p.height) (fun idx ->
+      render_pixel p scene (idx mod p.width) (idx / p.width))
+
+(* ------------------------------------------------------------------ *)
+(* Task queues: queue q occupies [head; tail; items...]; items hold tile
+   ids. head/tail only grow; the live range is [head, tail). *)
+
+let body ?(verify = true) p ctx =
+  if p.width mod p.tile <> 0 || p.height mod p.tile <> 0 then
+    invalid_arg "Raytrace.body: tile must divide width and height";
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  let scene = make_scene p in
+  let reference = lazy (reference p) in
+  let tiles_x = p.width / p.tile in
+  let tiles_y = p.height / p.tile in
+  let ntasks = tiles_x * tiles_y in
+  let qwords = 2 + ntasks in
+  if me = 0 then begin
+    (* Image rows are block-distributed (and homed) over the processors; a
+       tile row spans pages of several owners, so pixel writes false-share. *)
+    let image_home page =
+      let row = min (p.height - 1) (page * Svm.Api.page_words ctx / p.width) in
+      App_util.owner_of ~n:p.height ~nparts:np row
+    in
+    ignore (Svm.Api.malloc ctx ~name:"rt.image" ~home:image_home (p.width * p.height));
+    let queues = Svm.Api.malloc ctx ~name:"rt.queues" ~home:(fun pg ->
+        App_util.owner_of ~n:(np * qwords) ~nparts:np (pg * Svm.Api.page_words ctx))
+        (np * qwords)
+    in
+    (* Deal tiles round-robin to the queues. *)
+    let counts = Array.make np 0 in
+    for task = 0 to ntasks - 1 do
+      let q = task mod np in
+      Svm.Api.write_int ctx (queues + (q * qwords) + 2 + counts.(q)) task;
+      counts.(q) <- counts.(q) + 1
+    done;
+    for q = 0 to np - 1 do
+      Svm.Api.write_int ctx (queues + (q * qwords)) 0;
+      Svm.Api.write_int ctx (queues + (q * qwords) + 1) counts.(q)
+    done
+  end;
+  Svm.Api.barrier ctx;
+  Svm.Api.start_timing ctx;
+  let image = Svm.Api.root ctx "rt.image" in
+  let queues = Svm.Api.root ctx "rt.queues" in
+  let qbase q = queues + (q * qwords) in
+  (* Pop from the head of queue [q] under its lock; steal = same operation on
+     a victim's queue (from the tail side). *)
+  let pop ~steal q =
+    Svm.Api.lock ctx q;
+    let head = Svm.Api.read_int ctx (qbase q) in
+    let tail = Svm.Api.read_int ctx (qbase q + 1) in
+    let result =
+      if head >= tail then None
+      else if steal then begin
+        Svm.Api.write_int ctx (qbase q + 1) (tail - 1);
+        Some (Svm.Api.read_int ctx (qbase q + 2 + tail - 1))
+      end
+      else begin
+        Svm.Api.write_int ctx (qbase q) (head + 1);
+        Some (Svm.Api.read_int ctx (qbase q + 2 + head))
+      end
+    in
+    Svm.Api.unlock ctx q;
+    result
+  in
+  let render_tile task =
+    let ty = task / tiles_x and tx = task mod tiles_x in
+    for py = ty * p.tile to ((ty + 1) * p.tile) - 1 do
+      for px = tx * p.tile to ((tx + 1) * p.tile) - 1 do
+        let v = render_pixel p scene px py in
+        Svm.Api.compute ctx (flops_per_pixel p *. p.flop_us);
+        Svm.Api.write ctx (image + (py * p.width) + px) v
+      done
+    done
+  in
+  let rec work () =
+    match pop ~steal:false me with
+    | Some task ->
+        render_tile task;
+        work ()
+    | None ->
+        (* Own queue empty: try to steal, round-robin from the next node. *)
+        let rec try_victim k =
+          if k >= np then ()
+          else
+            let victim = (me + k) mod np in
+            match pop ~steal:true victim with
+            | Some task ->
+                render_tile task;
+                work ()
+            | None -> try_victim (k + 1)
+        in
+        try_victim 1
+  in
+  work ();
+  Svm.Api.barrier ctx;
+  if verify && me = 0 then begin
+    let expected = Lazy.force reference in
+    for idx = 0 to (p.width * p.height) - 1 do
+      App_util.check_close ~what:"rt.image" ~tol:1e-12 ~index:idx expected.(idx)
+        (Svm.Api.read ctx (image + idx))
+    done
+  end;
+  Svm.Api.barrier ctx

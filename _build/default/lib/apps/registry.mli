@@ -1,0 +1,36 @@
+(** Application registry: the paper's five benchmarks (plus the §4.8 SOR
+    variant) at three problem scales. *)
+
+(** [Test] keeps unit tests fast; [Bench] is the default for table
+    generation; [Full] runs closer to the paper's
+    compute-to-communication ratios (longer wall-clock). *)
+type scale = Test | Bench | Full
+
+type t = {
+  name : string;
+  body : verify:bool -> Svm.Api.ctx -> unit;
+      (** The SPMD process body; with [~verify:true] process 0 checks the
+          final shared memory against the sequential reference. *)
+  description : string;  (** Problem-size summary for Table 1. *)
+}
+
+val lu : scale -> t
+
+val sor : scale -> t
+
+(** SOR with a zero interior: the paper's §4.8 LRC-favourable ablation. *)
+val sor_zero : scale -> t
+
+val water_nsq : scale -> t
+
+val water_spatial : scale -> t
+
+val raytrace : scale -> t
+
+(** The paper's five applications (its Table 1), in its order. *)
+val all : scale -> t list
+
+(** Look up by CLI name; see {!names}. *)
+val find : string -> scale -> t option
+
+val names : string list

@@ -1,0 +1,29 @@
+(** Red-black successive over-relaxation (the TreadMarks SOR kernel).
+
+    Row bands per processor, homed at their owner; communication is only
+    across band boundaries, synchronized by barriers — the paper's extreme
+    coarse-grained, single-writer case. *)
+
+type params = {
+  rows : int;
+  cols : int;
+  iters : int;
+  zero_interior : bool;
+      (** The paper's §4.8 experiment: a zero interior produces no diffs
+          for many iterations, the workload most favourable to LRC. *)
+  flop_us : float;
+  seed : int;
+}
+
+val default : params
+
+val name : string
+
+(** Initial value of cell (i, j) (random, or the zero-interior pattern). *)
+val init_value : params -> int -> int -> float
+
+(** Sequential reference (bit-identical to the parallel run: colors have no
+    intra-phase dependencies). *)
+val reference : params -> float array
+
+val body : ?verify:bool -> params -> Svm.Api.ctx -> unit

@@ -1,0 +1,35 @@
+(** Water-Nsquared: O(n²) molecular dynamics with a cutoff radius
+    (Splash-2 "Water-Nsquared", simplified potentials, same sharing
+    structure: contiguous molecule partitions, half-shell pairwise forces,
+    per-partition locks to merge force contributions — the migratory
+    multiple-writer pattern of the paper's §4.6). *)
+
+type params = {
+  molecules : int;
+  steps : int;
+  cutoff : float;  (** Distance cutoff as a fraction of the box size. *)
+  flop_us : float;
+  seed : int;
+}
+
+val default : params
+
+val name : string
+
+(** Deterministic initial position/velocity components (molecule, axis). *)
+val init_pos : params -> int -> int -> float
+
+val init_vel : params -> int -> int -> float
+
+(** Pair force between two positions; [None] beyond the cutoff. *)
+val pair_force :
+  params -> float -> float -> float -> float -> float -> float -> (float * float * float) option
+
+(** Half-shell neighbour count of molecule [i] (every unordered pair is
+    enumerated exactly once). *)
+val half_shell : int -> int -> int
+
+(** Sequential reference: final (positions, velocities). *)
+val reference : params -> float array * float array
+
+val body : ?verify:bool -> params -> Svm.Api.ctx -> unit

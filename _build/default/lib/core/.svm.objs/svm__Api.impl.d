@@ -1,0 +1,1 @@
+lib/core/api.ml: Array Effect Machine Mem Stats Sync System

@@ -1,0 +1,1 @@
+lib/core/faults.ml: Array Hashtbl Intervals List Machine Mem Printf Proto Stats System

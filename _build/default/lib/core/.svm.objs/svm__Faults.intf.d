@@ -1,0 +1,1 @@
+lib/core/faults.mli: Effect Proto System

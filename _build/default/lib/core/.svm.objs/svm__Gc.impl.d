@@ -1,0 +1,1 @@
+lib/core/gc.ml: Array Faults Hashtbl List Machine Mem Proto Stats System

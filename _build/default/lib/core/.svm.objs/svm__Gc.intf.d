@@ -1,0 +1,1 @@
+lib/core/gc.mli: Hashtbl Proto System

@@ -1,0 +1,1 @@
+lib/core/intervals.ml: Array Config Hashtbl List Machine Mem Proto Stats String System

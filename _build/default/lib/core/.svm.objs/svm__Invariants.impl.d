@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Array Config Faults Int64 List Mem Printf Proto System

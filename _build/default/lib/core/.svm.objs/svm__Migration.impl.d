@@ -1,0 +1,1 @@
+lib/core/migration.ml: Array Config Hashtbl Intervals List Machine Mem Proto Stats System

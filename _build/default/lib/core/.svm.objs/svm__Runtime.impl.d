@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Api Array Config Effect Faults Float Format List Machine Mem Printf Sim Stats String Sync System

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Array Config Float Gc Hashtbl Intervals Invariants List Machine Mem Migration Proto Stats System

@@ -1,0 +1,1 @@
+lib/core/system.ml: Array Config Effect Float Format Hashtbl List Machine Mem Printf Proto Sim Stats

@@ -1,0 +1,1 @@
+lib/core/system.mli: Config Effect Format Hashtbl Machine Mem Proto Sim Stats

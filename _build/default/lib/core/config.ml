@@ -1,0 +1,62 @@
+type protocol = Lrc | Olrc | Hlrc | Ohlrc | Aurc | Rc
+
+let all_protocols = [ Lrc; Olrc; Hlrc; Ohlrc ]
+
+let extended_protocols = [ Lrc; Olrc; Hlrc; Ohlrc; Aurc; Rc ]
+
+let protocol_name = function
+  | Lrc -> "LRC"
+  | Olrc -> "OLRC"
+  | Hlrc -> "HLRC"
+  | Ohlrc -> "OHLRC"
+  | Aurc -> "AURC"
+  | Rc -> "RC"
+
+let protocol_of_string s =
+  match String.lowercase_ascii s with
+  | "lrc" -> Some Lrc
+  | "olrc" -> Some Olrc
+  | "hlrc" -> Some Hlrc
+  | "ohlrc" -> Some Ohlrc
+  | "aurc" -> Some Aurc
+  | "rc" -> Some Rc
+  | _ -> None
+
+let home_based = function Hlrc | Ohlrc | Aurc -> true | Lrc | Olrc | Rc -> false
+
+let overlapped = function Olrc | Ohlrc -> true | Lrc | Hlrc | Aurc | Rc -> false
+
+type home_policy = Round_robin | Block | Allocator
+
+type t = {
+  nprocs : int;
+  protocol : protocol;
+  page_words : int;
+  costs : Machine.Costs.t;
+  home_policy : home_policy;
+  gc_threshold_bytes : int;
+  coproc_locks : bool;
+  au_combine_words : int;
+  home_migration : bool;
+  paranoid : bool;
+  seed : int;
+}
+
+let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
+    ?(home_policy = Round_robin) ?(gc_threshold_bytes = 2 * 1024 * 1024)
+    ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
+    ?(paranoid = false) ?(seed = 42) ~nprocs protocol =
+  if nprocs <= 0 then invalid_arg "Config.make: nprocs must be positive";
+  {
+    nprocs;
+    protocol;
+    page_words;
+    costs;
+    home_policy;
+    gc_threshold_bytes;
+    coproc_locks;
+    au_combine_words;
+    home_migration;
+    paranoid;
+    seed;
+  }

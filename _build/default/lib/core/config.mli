@@ -1,0 +1,80 @@
+(** Run configuration: protocol choice, machine size and model knobs. *)
+
+(** The four protocols the paper evaluates — [Olrc]/[Ohlrc] are the
+    co-processor-overlapped variants of [Lrc]/[Hlrc] — plus [Aurc], the
+    Automatic Update Release Consistency protocol (paper 2.2) that HLRC
+    emulates in software: writes to non-home pages are propagated to the
+    home by write-through hardware (no twins, no diffs, zero software
+    overhead on update detection), at the price of per-write traffic.
+
+    [Rc] is eager Release Consistency (paper 2, Munin-style): diffs are
+    pushed to every node caching the page when the interval ends, and the
+    lock/barrier handoff waits for their acknowledgements — the protocol
+    LRC was designed to relax. *)
+type protocol = Lrc | Olrc | Hlrc | Ohlrc | Aurc | Rc
+
+(** The paper's four software protocols (its Table 2 columns). *)
+val all_protocols : protocol list
+
+(** All implemented protocols, including the hardware-assisted AURC and
+    eager RC. *)
+val extended_protocols : protocol list
+
+val protocol_name : protocol -> string
+
+val protocol_of_string : string -> protocol option
+
+(** Home-based protocols maintain a master copy of each page at a home node
+    (HLRC/OHLRC); homeless ones keep diffs distributed at the writers. *)
+val home_based : protocol -> bool
+
+(** Overlapped protocols offload diff work and remote-request service to the
+    communication co-processor. *)
+val overlapped : protocol -> bool
+
+(** Fallback home assignment for pages allocated without a placement hint
+    (home-based protocols only). *)
+type home_policy = Round_robin | Block | Allocator
+
+type t = {
+  nprocs : int;
+  protocol : protocol;
+  page_words : int;  (** Words (8 bytes each) per page; default 1024 = 8 KB. *)
+  costs : Machine.Costs.t;
+  home_policy : home_policy;
+  gc_threshold_bytes : int;
+      (** Per-node protocol memory that triggers garbage collection at the
+          next barrier (homeless protocols only). *)
+  coproc_locks : bool;
+      (** Extension suggested by the paper's 4.3: service lock requests on
+          the communication co-processor (overlapped protocols only),
+          reducing a remote acquire from ~1,550 us to ~150 us. Off by
+          default, as in the paper's prototypes. *)
+  au_combine_words : int;
+      (** AURC only: words combined into one automatic-update message by the
+          network interface (the SHRIMP combining buffer). *)
+  home_migration : bool;
+      (** Extension (home-based protocols): at each barrier, re-home pages
+          to the dominant writer of the epoch (JIAJIA-style adaptive
+          placement). Off by default, as in the paper. *)
+  paranoid : bool;
+      (** Testing aid: at each barrier completion, assert that all current
+          copies of every page are bitwise identical (raises
+          {!Invariants.Violation} otherwise). No effect on the simulated
+          costs. *)
+  seed : int;
+}
+
+val make :
+  ?page_words:int ->
+  ?costs:Machine.Costs.t ->
+  ?home_policy:home_policy ->
+  ?gc_threshold_bytes:int ->
+  ?coproc_locks:bool ->
+  ?au_combine_words:int ->
+  ?home_migration:bool ->
+  ?paranoid:bool ->
+  ?seed:int ->
+  nprocs:int ->
+  protocol ->
+  t

@@ -1,0 +1,426 @@
+(* Page-fault handling.
+
+   Home-based protocols resolve a miss with a single round trip to the
+   page's home, which holds an eagerly-updated master copy guarded by
+   per-writer flush timestamps. Homeless protocols first obtain a full copy
+   from the (approximate) copyset when none is cached, then collect the
+   missing diffs from their writers and apply them in causal order.
+
+   All entry points assume the node's application process is (or is about to
+   be) suspended; completion callbacks fire at the node's advanced clock. *)
+
+open System
+
+let request_service_cost = 10.
+
+(* Causal order on write notices carried by homeless protocols. Incomparable
+   (truly concurrent) diffs touch disjoint words in data-race-free programs,
+   so any tie order is sound. *)
+let compare_causal (a : Proto.Interval.t) (b : Proto.Interval.t) =
+  if a.Proto.Interval.node = b.Proto.Interval.node then
+    compare a.Proto.Interval.index b.Proto.Interval.index
+  else if Proto.Interval.causally_before a b then -1
+  else if Proto.Interval.causally_before b a then 1
+  else 0
+
+(* Topological order of (interval, diff) pairs under the causal partial
+   order. A comparison sort on the partial order itself is unsound
+   (incomparable pairs compare equal, breaking transitivity), but the sum of
+   a timestamp's entries is strictly monotone in the pointwise order:
+   a < b implies sum(a) < sum(b). Sorting by (sum, node, index) is
+   therefore a linear extension of causality, computed in O(k log k).
+   Same-sum elements are equal or concurrent, and concurrent diffs touch
+   disjoint words in data-race-free programs, so their order is free. *)
+let vt_weight (iv : Proto.Interval.t) =
+  match iv.Proto.Interval.vt with
+  | None -> invalid_arg "vt_weight: interval lacks a timestamp"
+  | Some vt ->
+      let sum = ref 0 in
+      for i = 0 to Proto.Vclock.nprocs vt - 1 do
+        sum := !sum + Proto.Vclock.get vt i
+      done;
+      !sum
+
+let causal_key iv = (vt_weight iv, iv.Proto.Interval.node, iv.Proto.Interval.index)
+
+let causal_order tagged =
+  let keyed = List.map (fun (iv, diff) -> (causal_key iv, (iv, diff))) tagged in
+  List.map snd (List.sort (fun (ka, _) (kb, _) -> compare ka kb) keyed)
+
+let apply_one_diff sys node entry diff =
+  let c = costs sys in
+  Mem.Diff.apply diff (Mem.Page_table.data_exn entry);
+  (match entry.Mem.Page_table.twin with Some t -> Mem.Diff.apply diff t | None -> ());
+  charge_protocol node (Intervals.diff_apply_cost c diff);
+  node.stats.Stats.c.Stats.diffs_applied <- node.stats.Stats.c.Stats.diffs_applied + 1
+
+(* Re-apply the node's own retained diffs newer than [applied.(self)] after a
+   full-page fetch overwrote the local copy (homeless protocols only). *)
+let reapply_own_diffs sys node pi entry =
+  match Hashtbl.find_opt node.own_diffs pi.pi_page with
+  | None -> ()
+  | Some diffs ->
+      let newer =
+        List.filter (fun (idx, _, _) -> idx > Proto.Vclock.get pi.applied node.id) diffs
+      in
+      let ascending = List.sort (fun (a, _, _) (b, _, _) -> compare a b) newer in
+      List.iter
+        (fun (idx, diff, _) ->
+          apply_one_diff sys node entry diff;
+          Proto.Vclock.set pi.applied node.id idx)
+        ascending
+
+(* ------------------------------------------------------------------ *)
+(* Home-based fetch                                                   *)
+
+(* Install a page copy received from the home, preserving any uncommitted
+   local writes (possible when a false-sharing invalidation hit a page the
+   node was still writing). Under write-through (AURC) the home copy
+   already contains them, so the snapshot installs as-is. *)
+let install_home_copy ~write_through entry (data : float array) =
+  match (entry.Mem.Page_table.dirty, entry.Mem.Page_table.twin) with
+  | true, Some twin ->
+      let own =
+        Mem.Diff.create ~page:entry.Mem.Page_table.page ~twin
+          ~current:(Mem.Page_table.data_exn entry)
+      in
+      entry.Mem.Page_table.data <- Some data;
+      entry.Mem.Page_table.twin <- Some (Array.copy data);
+      Mem.Diff.apply own data
+  | true, None when write_through -> entry.Mem.Page_table.data <- Some data
+  | true, None -> invalid_arg "install_home_copy: dirty page without twin"
+  | false, _ ->
+      entry.Mem.Page_table.data <- Some data;
+      entry.Mem.Page_table.twin <- None
+
+let rec fetch_from_home sys node page ~on_valid =
+  let c = costs sys in
+  let pi = page_info sys node page in
+  let home = home_of sys page in
+  let home_node = sys.nodes.(home) in
+  let needed = Proto.Vclock.copy pi.needed in
+  node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
+  let request_bytes = header_bytes + Proto.Vclock.size_bytes needed in
+  trace sys node "page fault: fetch page %d from home %d" page home;
+  send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.clock ~bytes:request_bytes ~update:0
+    (fun arrival ->
+      let serve_fetch at =
+        let done_t = serve sys home_node ~arrival:at ~cost:request_service_cost in
+        let hentry = Mem.Page_table.ensure home_node.pt page in
+        let master =
+          match hentry.Mem.Page_table.data with
+          | Some d -> d
+          | None ->
+              let d = Mem.Page_table.attach_copy home_node.pt hentry in
+              hentry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+              d
+        in
+        let snapshot = Array.copy master in
+        let hp = home_page sys home_node page in
+        let flush = Proto.Vclock.copy hp.hp_flush in
+        let bytes =
+          header_bytes + Mem.Layout.page_bytes sys.layout + Proto.Vclock.size_bytes flush
+        in
+        send sys ~src:home_node ~dst:node.id ~at:done_t ~bytes
+          ~update:(Mem.Layout.page_bytes sys.layout) (fun reply_at ->
+            Machine.Node.sync_to node.mach reply_at;
+            (* The node may have flushed its own writes mid-fault (a remote
+               lock request ended its interval); if the snapshot predates
+               them, retry so they are not lost. *)
+            if not (Proto.Vclock.leq pi.needed flush) then
+              fetch_from_home sys node page ~on_valid
+            else begin
+              let entry = Mem.Page_table.ensure node.pt page in
+              install_home_copy ~write_through:(aurc sys) entry snapshot;
+              entry.Mem.Page_table.prot <-
+                (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
+                 else Mem.Page_table.Read_only);
+              on_valid ()
+            end)
+      in
+      let hp = home_page sys home_node page in
+      if Proto.Vclock.leq needed hp.hp_flush then serve_fetch arrival
+      else begin
+        ignore (serve sys home_node ~arrival ~cost:request_service_cost);
+        hp.hp_pending <- { pf_needed = needed; pf_serve = serve_fetch } :: hp.hp_pending;
+        trace sys home_node "fetch of page %d pending (flush behind)" page
+      end);
+  ignore c
+
+(* ------------------------------------------------------------------ *)
+(* Homeless fetch: full copy (if uncached) then missing diffs           *)
+
+let still_missing pi =
+  List.filter
+    (fun (iv : Proto.Interval.t) ->
+      iv.Proto.Interval.index > Proto.Vclock.get pi.applied iv.Proto.Interval.node)
+    pi.missing
+
+let finish_homeless_validation node pi entry ~on_valid =
+  Mem.Accounting.sub node.stats.Stats.proto_mem
+    (missing_entry_bytes * List.length pi.missing);
+  pi.missing <- [];
+  entry.Mem.Page_table.prot <-
+    (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write else Mem.Page_table.Read_only);
+  on_valid ()
+
+(* Collect and apply the diffs for the page's outstanding write notices. One
+   request goes to each distinct writer; replies are applied in causal
+   order once all have arrived (paper §2.1: the faulting processor "collects
+   all the diffs for the page and applies them in the proper causal
+   order"). *)
+let collect_diffs sys node page ~on_valid =
+  let pi = page_info sys node page in
+  let entry = Mem.Page_table.entry node.pt page in
+  let wanted = still_missing pi in
+  if wanted = [] then finish_homeless_validation node pi entry ~on_valid
+  else begin
+    let by_writer = Hashtbl.create 8 in
+    List.iter
+      (fun (iv : Proto.Interval.t) ->
+        let w = iv.Proto.Interval.node in
+        let prev = try Hashtbl.find by_writer w with Not_found -> [] in
+        Hashtbl.replace by_writer w (iv.Proto.Interval.index :: prev))
+      wanted;
+    let writers = Hashtbl.fold (fun w idxs acc -> (w, idxs) :: acc) by_writer [] in
+    let outstanding = ref (List.length writers) in
+    let received : (int * int * Mem.Diff.t) list ref = ref [] in
+    let vt_of = Hashtbl.create 8 in
+    List.iter
+      (fun (iv : Proto.Interval.t) ->
+        Hashtbl.replace vt_of (iv.Proto.Interval.node, iv.Proto.Interval.index) iv)
+      wanted;
+    let complete at =
+      Machine.Node.sync_to node.mach at;
+      (* Sort the collected diffs by the causal order of their intervals. *)
+      let tagged =
+        List.map (fun (w, idx, diff) -> (Hashtbl.find vt_of (w, idx), diff)) !received
+      in
+      let ordered = causal_order tagged in
+      List.iter
+        (fun ((iv : Proto.Interval.t), diff) ->
+          apply_one_diff sys node entry diff;
+          if iv.Proto.Interval.index > Proto.Vclock.get pi.applied iv.Proto.Interval.node then
+            Proto.Vclock.set pi.applied iv.Proto.Interval.node iv.Proto.Interval.index)
+        ordered;
+      finish_homeless_validation node pi entry ~on_valid
+    in
+    List.iter
+      (fun (writer, idxs) ->
+        let writer_node = sys.nodes.(writer) in
+        let bytes = header_bytes + (8 * List.length idxs) in
+        trace sys node "diff request: page %d from writer %d (%d intervals)" page writer
+          (List.length idxs);
+        send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.clock ~bytes ~update:0
+          (fun arrival ->
+            let cost = request_service_cost *. float_of_int (List.length idxs) in
+            let done_t = serve sys writer_node ~arrival ~cost in
+            let stored = try Hashtbl.find writer_node.own_diffs page with Not_found -> [] in
+            let diffs =
+              List.map
+                (fun idx ->
+                  match List.find_opt (fun (i, _, _) -> i = idx) stored with
+                  | Some (_, diff, _) -> (idx, diff)
+                  | None ->
+                      invalid_arg
+                        (Printf.sprintf
+                           "collect_diffs: writer %d lacks diff (page %d, interval %d)" writer
+                           page idx))
+                idxs
+            in
+            let payload =
+              List.fold_left (fun acc (_, d) -> acc + Mem.Diff.size_bytes d) 0 diffs
+            in
+            send sys ~src:writer_node ~dst:node.id ~at:done_t
+              ~bytes:(header_bytes + payload) ~update:payload (fun reply_at ->
+                Machine.Node.sync_to node.mach reply_at;
+                List.iter (fun (idx, diff) -> received := (writer, idx, diff) :: !received) diffs;
+                decr outstanding;
+                if !outstanding = 0 then complete node.mach.Machine.Node.clock)))
+      writers
+  end
+
+(* Obtain a full base copy from the approximate copyset, then collect
+   diffs. The reply carries the replier's applied cut so the fetcher knows
+   which notices the copy already reflects (sound because applied cuts are
+   causally closed; see DESIGN.md). *)
+let fetch_full_page sys node page ~on_valid =
+  let pi = page_info sys node page in
+  let entry = Mem.Page_table.ensure node.pt page in
+  let source =
+    if eager_rc sys then
+      (* Eager RC has no diffs to pull: the copy must come from a member
+         whose own copy has installed (installed members never drop their
+         copies, so the choice is stable). A page nobody holds yet
+         materializes locally as zeros. *)
+      match installed_member sys page with Some m -> m | None -> node.id
+    else keeper_of sys page
+  in
+  if source = node.id then begin
+    (* We are the allocator (or, under RC, the first toucher): materialize
+       the initial zero-filled copy. *)
+    ignore (Mem.Page_table.attach_copy node.pt entry);
+    if eager_rc sys then mark_copy_installed sys node page;
+    reapply_own_diffs sys node pi entry;
+    collect_diffs sys node page ~on_valid
+  end
+  else begin
+    let source_node = sys.nodes.(source) in
+    node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
+    trace sys node "full-page fetch: page %d from node %d" page source;
+    send sys ~src:node ~dst:source ~at:node.mach.Machine.Node.clock ~bytes:header_bytes
+      ~update:0 (fun arrival ->
+        let done_t = serve sys source_node ~arrival ~cost:request_service_cost in
+        let sentry = Mem.Page_table.ensure source_node.pt page in
+        let sdata =
+          match sentry.Mem.Page_table.data with
+          | Some d -> d
+          | None ->
+              (* Only reachable for the homeless-lazy protocols (an RC
+                 source is always an installed member). *)
+              assert (not (eager_rc sys));
+              let d = Mem.Page_table.attach_copy source_node.pt sentry in
+              sentry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+              d
+        in
+        (* Eager RC: the requester joins the copyset before the snapshot is
+           taken, so any update pushed from now on reaches it (held in its
+           backlog until the copy installs below). *)
+        if eager_rc sys then register_copy sys node page;
+        let snapshot = Array.copy sdata in
+        let spi = page_info sys source_node page in
+        let applied = Proto.Vclock.copy spi.applied in
+        let bytes =
+          header_bytes + Mem.Layout.page_bytes sys.layout + Proto.Vclock.size_bytes applied
+        in
+        send sys ~src:source_node ~dst:node.id ~at:done_t ~bytes
+          ~update:(Mem.Layout.page_bytes sys.layout) (fun reply_at ->
+            Machine.Node.sync_to node.mach reply_at;
+            (match (entry.Mem.Page_table.dirty, entry.Mem.Page_table.twin) with
+            | true, Some twin ->
+                let own =
+                  Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry)
+                in
+                entry.Mem.Page_table.data <- Some snapshot;
+                entry.Mem.Page_table.twin <- Some (Array.copy snapshot);
+                Mem.Diff.apply own snapshot
+            | true, None -> invalid_arg "fetch_full_page: dirty page without twin"
+            | false, _ ->
+                entry.Mem.Page_table.data <- Some snapshot;
+                entry.Mem.Page_table.twin <- None);
+            Proto.Vclock.merge_into pi.applied applied;
+            reapply_own_diffs sys node pi entry;
+            (* Eager RC: updates that raced the transfer were parked in the
+               backlog; apply them in push order on top of the copy, then
+               open this copy up for serving fetches. *)
+            if eager_rc sys then begin
+              List.iter (fun diff -> apply_one_diff sys node entry diff) (List.rev pi.rc_backlog);
+              pi.rc_backlog <- [];
+              mark_copy_installed sys node page
+            end;
+            collect_diffs sys node page ~on_valid))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+
+(* Bring [page] to a readable state on [node]; [on_valid] runs (at the
+   node's advanced clock) once the local copy is coherent. *)
+let make_valid sys node page ~on_valid =
+  let entry = Mem.Page_table.ensure node.pt page in
+  if entry.Mem.Page_table.prot <> Mem.Page_table.No_access then on_valid ()
+  else if home_based sys then begin
+    if home_of sys page = node.id then begin
+      (* First touch of a page homed here: the master copy materializes
+         in place, but any already-announced remote writes must have
+         landed before reads are allowed. *)
+      let hp = home_page sys node page in
+      let pi = page_info sys node page in
+      if entry.Mem.Page_table.data = None then
+        ignore (Mem.Page_table.attach_copy node.pt entry);
+      if Proto.Vclock.leq pi.needed hp.hp_flush then begin
+        entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+        on_valid ()
+      end
+      else
+        hp.hp_pending <-
+          {
+            pf_needed = Proto.Vclock.copy pi.needed;
+            pf_serve =
+              (fun at ->
+                Machine.Node.sync_to node.mach at;
+                entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+                on_valid ());
+          }
+          :: hp.hp_pending
+    end
+    else begin
+      node.stats.Stats.c.Stats.read_misses <- node.stats.Stats.c.Stats.read_misses + 1;
+      fetch_from_home sys node page ~on_valid
+    end
+  end
+  else begin
+    node.stats.Stats.c.Stats.read_misses <- node.stats.Stats.c.Stats.read_misses + 1;
+    if entry.Mem.Page_table.data = None then fetch_full_page sys node page ~on_valid
+    else collect_diffs sys node page ~on_valid
+  end
+
+let make_writable sys node page =
+  let c = costs sys in
+  let entry = Mem.Page_table.entry node.pt page in
+  assert (entry.Mem.Page_table.prot <> Mem.Page_table.No_access);
+  if entry.Mem.Page_table.prot = Mem.Page_table.Read_only then begin
+    let at_home = home_based sys && home_of sys page = node.id in
+    if aurc sys then begin
+      (* No twin: set up the automatic-update mapping so subsequent stores
+         write through to the home's master copy (paper 2.2). *)
+      if (not at_home) && entry.Mem.Page_table.mirror = None then begin
+        let home_node = sys.nodes.(home_of sys page) in
+        let hentry = Mem.Page_table.ensure home_node.pt page in
+        let master =
+          match hentry.Mem.Page_table.data with
+          | Some d -> d
+          | None ->
+              let d = Mem.Page_table.attach_copy home_node.pt hentry in
+              hentry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+              d
+        in
+        entry.Mem.Page_table.mirror <- Some master
+      end
+    end
+    else if (not at_home) && entry.Mem.Page_table.twin = None then begin
+      Mem.Page_table.make_twin entry;
+      charge_protocol node c.Machine.Costs.twin_copy;
+      Mem.Accounting.add node.stats.Stats.proto_mem (Mem.Layout.page_bytes sys.layout)
+    end;
+    entry.Mem.Page_table.prot <- Mem.Page_table.Read_write;
+    charge_protocol node c.Machine.Costs.page_protect;
+    if not entry.Mem.Page_table.dirty then begin
+      entry.Mem.Page_table.dirty <- true;
+      node.dirty <- page :: node.dirty
+    end
+  end
+
+(* Effect-handler entry points: the process is suspended with continuation
+   [k]; it resumes once the access can proceed. *)
+let read_fault sys node page k =
+  let c = costs sys in
+  charge_protocol node c.Machine.Costs.page_fault;
+  block sys node Wait_data k;
+  make_valid sys node page ~on_valid:(fun () ->
+      resume sys node ~at:node.mach.Machine.Node.clock)
+
+let write_fault sys node page k =
+  let c = costs sys in
+  charge_protocol node c.Machine.Costs.page_fault;
+  node.stats.Stats.c.Stats.write_faults <- node.stats.Stats.c.Stats.write_faults + 1;
+  block sys node Wait_data k;
+  let entry = Mem.Page_table.ensure node.pt page in
+  if entry.Mem.Page_table.prot = Mem.Page_table.No_access then
+    make_valid sys node page ~on_valid:(fun () ->
+        make_writable sys node page;
+        resume sys node ~at:node.mach.Machine.Node.clock)
+  else begin
+    make_writable sys node page;
+    resume sys node ~at:node.mach.Machine.Node.clock
+  end

@@ -1,0 +1,140 @@
+(* Garbage collection of protocol data (homeless protocols only).
+
+   Triggered at barriers when any node's live protocol memory exceeds the
+   configured threshold (paper §3.5). Every shared page's "last writer"
+   (the creator of the causally-maximal interval that wrote it) validates its
+   copy by pulling all missing diffs; other nodes drop their copies and point
+   their copyset hint at the last writer. Diffs and interval records may
+   only be discarded once *every* node has finished validating — the nodes
+   rendezvous through the barrier manager (Gc_done / discard broadcast)
+   before discarding, mirroring the paper's description of the collection
+   being "quite complex". *)
+
+open System
+
+(* Deterministic total order refining the causal order (see
+   Faults.causal_key: the timestamp-sum key is a linear extension). *)
+let later a b = Faults.causal_key a > Faults.causal_key b
+
+(* page -> the designated keeper interval: the maximum under the [later]
+   total order. After a barrier every node holds the same set of interval
+   records, and a fold with a total order is insensitive to list order, so
+   all nodes elect the same keeper; it validates the page while the rest
+   drop their copies. *)
+let last_writers node =
+  let best : (int, Proto.Interval.t) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun ivs ->
+      List.iter
+        (fun (iv : Proto.Interval.t) ->
+          List.iter
+            (fun page ->
+              match Hashtbl.find_opt best page with
+              | Some cur when not (later iv cur) -> ()
+              | _ -> Hashtbl.replace best page iv)
+            iv.Proto.Interval.pages)
+        ivs)
+    node.known;
+  best
+
+let scan_cost_per_page = 2.
+
+(* Drop all retained diffs and interval records. *)
+let discard_all sys node =
+  Hashtbl.iter
+    (fun _ diffs ->
+      List.iter
+        (fun (_, diff, _) ->
+          Mem.Accounting.sub node.stats.Stats.proto_mem (Mem.Diff.size_bytes diff))
+        diffs)
+    node.own_diffs;
+  Hashtbl.reset node.own_diffs;
+  Array.iteri
+    (fun creator ivs ->
+      List.iter (fun iv -> release_interval node iv) ivs;
+      node.known.(creator) <- [])
+    node.known;
+  trace sys node "gc: discarded diffs and interval records"
+
+(* Validate-or-drop every page this node tracks, then call [k]. Validations
+   run sequentially (one outstanding diff collection per node). Pages with
+   no writer since the previous collection keep their current keeper: its
+   copy (established then) is still the only guaranteed-full one. *)
+let sweep sys node ~k =
+  let best = last_writers node in
+  let to_validate = ref [] in
+  (* Node 0 publishes the new keepers; every node computes the same [best],
+     and the directory is only consulted for pages *not* in it, so the
+     update order relative to other nodes' sweeps is immaterial. *)
+  if node.id = 0 then
+    Hashtbl.iter
+      (fun page (iv : Proto.Interval.t) ->
+        Hashtbl.replace sys.keeper_tbl page iv.Proto.Interval.node)
+      best;
+  Mem.Page_table.iter node.pt (fun entry ->
+      let page = entry.Mem.Page_table.page in
+      charge_gc node scan_cost_per_page;
+      let pi = page_info sys node page in
+      let keeper =
+        match Hashtbl.find_opt best page with
+        | Some iv -> iv.Proto.Interval.node
+        | None -> keeper_of sys page
+      in
+      if keeper = node.id then begin
+        if entry.Mem.Page_table.data <> None && Faults.still_missing pi <> [] then
+          to_validate := page :: !to_validate
+      end
+      else begin
+        (* Non-last-writer: drop the copy; future faults re-fetch from the
+           keeper. *)
+        if entry.Mem.Page_table.data <> None then begin
+          entry.Mem.Page_table.data <- None;
+          entry.Mem.Page_table.prot <- Mem.Page_table.No_access;
+          charge_gc node (costs sys).Machine.Costs.page_invalidate
+        end;
+        Mem.Accounting.sub node.stats.Stats.proto_mem
+          (missing_entry_bytes * List.length pi.missing);
+        pi.missing <- [];
+        for i = 0 to Proto.Vclock.nprocs pi.applied - 1 do
+          Proto.Vclock.set pi.applied i (-1)
+        done
+      end);
+  let rec validate = function
+    | [] -> k ()
+    | page :: rest ->
+        Faults.collect_diffs sys node page ~on_valid:(fun () -> validate rest)
+  in
+  validate !to_validate
+
+(* Per-node GC entry point, run between the barrier release and the
+   process's resumption. [on_done] fires after the global discard phase. *)
+let run sys node ~on_done =
+  node.in_gc <- true;
+  node.stats.Stats.c.Stats.gc_runs <- node.stats.Stats.c.Stats.gc_runs + 1;
+  trace sys node "gc: start (protocol memory %d bytes)"
+    (Mem.Accounting.current node.stats.Stats.proto_mem);
+  sweep sys node ~k:(fun () ->
+      (* Rendezvous: nobody discards until everyone has validated. *)
+      let mgr = sys.nodes.(0) in
+      Hashtbl.replace sys.gc_on_done node.id (fun () ->
+          discard_all sys node;
+          node.in_gc <- false;
+          on_done ());
+      send sys ~src:node ~dst:0 ~at:node.mach.Machine.Node.clock ~bytes:header_bytes ~update:0
+        (fun arrival ->
+          let done_t = serve_compute sys mgr ~arrival ~cost:scan_cost_per_page in
+          sys.gc_nodes_done <- sys.gc_nodes_done + 1;
+          if sys.gc_nodes_done = nprocs sys then begin
+            sys.gc_nodes_done <- 0;
+            Array.iter
+              (fun (n : node_state) ->
+                send sys ~src:mgr ~dst:n.id ~at:done_t ~bytes:header_bytes ~update:0
+                  (fun release_at ->
+                    Machine.Node.sync_to n.mach release_at;
+                    match Hashtbl.find_opt sys.gc_on_done n.id with
+                    | Some f ->
+                        Hashtbl.remove sys.gc_on_done n.id;
+                        f ()
+                    | None -> assert false))
+              sys.nodes
+          end))

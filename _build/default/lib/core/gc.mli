@@ -1,0 +1,22 @@
+(** Garbage collection of protocol data (homeless lazy protocols,
+    paper §3.5).
+
+    Triggered at a barrier when some node's live protocol memory exceeds
+    the configured threshold. Each page's designated keeper (the creator of
+    the causally-maximal interval writing it) validates its copy by pulling
+    the missing diffs; every other node drops its copy. Nodes rendezvous
+    through the barrier manager before discarding diffs and interval
+    records, so no validation can miss a diff. *)
+
+(** [later a b]: deterministic total order refining causality (via
+    {!Faults.causal_key}); used to elect keepers identically on every
+    node. *)
+val later : Proto.Interval.t -> Proto.Interval.t -> bool
+
+(** page -> keeper interval, computed from the node's (post-barrier,
+    globally identical) interval records. *)
+val last_writers : System.node_state -> (int, Proto.Interval.t) Hashtbl.t
+
+(** Per-node entry point, run between the barrier release and the process's
+    resumption; [on_done] fires after the global discard phase. *)
+val run : System.t -> System.node_state -> on_done:(unit -> unit) -> unit

@@ -1,0 +1,48 @@
+(** Interval termination and write-notice application.
+
+    An interval is the span of a processor's execution between consecutive
+    synchronization events (paper §2.1); it ends when the node performs a
+    remote acquire, receives a remote lock request, or enters a barrier.
+    What happens to the writes of a finished interval is the defining
+    difference between the protocols:
+
+    - homeless (LRC/OLRC): a diff per dirty page is created and retained at
+      the writer until garbage collection;
+    - home-based (HLRC/OHLRC): diffs are flushed to each page's home and
+      discarded immediately;
+    - AURC: the data already went out by write-through; only a release
+      timestamp travels;
+    - eager RC: diffs are pushed to every copyset member and the next
+      handoff waits for their acknowledgements. *)
+
+(** Simulated cost of creating one diff (full-page scan). *)
+val diff_create_cost : Machine.Costs.t -> page_words:int -> float
+
+(** Simulated cost of applying [diff] (proportional to its size). *)
+val diff_apply_cost : Machine.Costs.t -> Mem.Diff.t -> float
+
+(** Serve the pending fetches of a home page whose flush level now covers
+    them; [at] is when the enabling update finished applying. *)
+val serve_pending_fetches : System.home_page -> at:float -> unit
+
+(** End the node's current interval, if it wrote anything: commit its dirty
+    pages per the configured protocol (see above), write-protect them and
+    advance the node's vector time. *)
+val end_interval : System.t -> System.node_state -> unit
+
+(** Apply a batch of remote interval records (write notices) received on a
+    lock grant or barrier release: record them, advance the receiver's
+    vector time, invalidate affected cached pages (homeless protocols also
+    queue the notices for fault-time diff collection; home-based ones raise
+    the per-page required-flush level). Returns the receiver's own-homed
+    pages whose required flush level is not yet reached — the caller must
+    delay the process until those in-flight updates land. *)
+val apply_remote_intervals :
+  System.t -> System.node_state -> Proto.Interval.t list -> (int * System.home_page) list
+
+(** Interval records the receiver (whose cut is [their_vt]) has not seen
+    yet; cost proportional to the result, not to history. *)
+val missing_intervals : System.node_state -> Proto.Vclock.t -> Proto.Interval.t list
+
+(** Total wire size of a set of interval records. *)
+val intervals_bytes : Proto.Interval.t list -> int

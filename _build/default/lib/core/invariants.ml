@@ -1,0 +1,74 @@
+(* Global coherence invariants, checked at barrier completion when
+   [Config.paranoid] is set (testing aid; not part of the simulated cost
+   model).
+
+   At a barrier every write notice has been collected by the manager and
+   every process is suspended, so the memory-consistency obligations are
+   globally decidable:
+
+   - A node's copy is "current" when it has no unapplied notices (homeless),
+     or its required flush level is met at the home (home-based), or simply
+     always (eager RC, where updates push at once).
+   - All current copies of a page must be bitwise identical: any difference
+     is a lost update, a misordered diff application, or a directory bug —
+     exactly the failure modes of the bugs recorded in DESIGN.md 7. *)
+
+open System
+
+exception Violation of string
+
+let page_currents sys page =
+  Array.fold_left
+    (fun acc (node : node_state) ->
+      if page >= Array.length node.pinfo then acc
+      else
+        match node.pinfo.(page) with
+        | None -> acc
+        | Some pi -> (
+            let entry = Mem.Page_table.ensure node.pt page in
+            match entry.Mem.Page_table.data with
+            | None -> acc
+            | Some data ->
+                let current =
+                  if eager_rc sys then true
+                  else if home_based sys then
+                    (* current iff every required flush has landed at home *)
+                    let home = sys.nodes.(home_of sys page) in
+                    let hp = home_page sys home page in
+                    entry.Mem.Page_table.prot <> Mem.Page_table.No_access
+                    && Proto.Vclock.leq pi.needed hp.hp_flush
+                  else
+                    entry.Mem.Page_table.prot <> Mem.Page_table.No_access
+                    && Faults.still_missing pi = []
+                in
+                (* a page being written right now may legitimately lead *)
+                if current && not entry.Mem.Page_table.dirty then (node.id, data) :: acc
+                else acc))
+    [] sys.nodes
+
+let check_page sys page =
+  match page_currents sys page with
+  | [] | [ _ ] -> ()
+  | (ref_node, ref_data) :: rest ->
+      List.iter
+        (fun (node, data) ->
+          Array.iteri
+            (fun off v ->
+              if Int64.bits_of_float v <> Int64.bits_of_float ref_data.(off) then
+                raise
+                  (Violation
+                     (Printf.sprintf
+                        "page %d word %d: node %d has %.17g, node %d has %.17g" page off node v
+                        ref_node ref_data.(off))))
+            data)
+        rest
+
+(* Invoked by the barrier manager at completion (before releases, while
+   every process is suspended). *)
+let check sys =
+  if sys.cfg.Config.paranoid then begin
+    let npages = Mem.Layout.pages_for sys.layout sys.next_addr in
+    for page = 0 to npages - 1 do
+      check_page sys page
+    done
+  end

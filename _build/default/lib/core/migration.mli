@@ -1,0 +1,15 @@
+(** Adaptive home migration (extension; home-based protocols, enabled with
+    {!Config.t.home_migration}).
+
+    At barrier completion the manager re-homes pages whose dominant writer
+    of the epoch is not their home: the directory is updated before the
+    releases go out, and the old home ships the master copy and flush
+    timestamps to the new home once every announced diff has landed.
+    Fetches racing the transfer wait at the new home exactly like fetches
+    racing a flush. See the module implementation for the quiescence
+    argument. *)
+
+(** Called by the barrier manager at completion with the epoch's interval
+    records; a no-op unless the protocol is home-based and migration is
+    enabled. *)
+val run : System.t -> Proto.Interval.t list -> unit

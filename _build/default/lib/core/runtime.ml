@@ -1,0 +1,122 @@
+type node_report = {
+  nr_id : int;
+  nr_elapsed : float;
+  nr_breakdown : Stats.breakdown;
+  nr_counters : Stats.counters;
+  nr_mem_peak : int;
+  nr_mem_end : int;
+  nr_epochs : Stats.breakdown list;
+}
+
+type report = {
+  r_config : Config.t;
+  r_elapsed : float;
+  r_nodes : node_report array;
+  r_shared_bytes : int;
+  r_events : int;
+}
+
+let start_process sys (node : System.node_state) app =
+  let ctx = Api.make_ctx sys node in
+  let open Effect.Deep in
+  match_with app ctx
+    {
+      retc =
+        (fun () ->
+          node.System.finished <- true;
+          sys.System.finished_count <- sys.System.finished_count + 1);
+      exnc = (fun exn -> raise exn);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | System.Lock_eff l ->
+              Some (fun (k : (a, _) continuation) -> Sync.acquire sys node l k)
+          | System.Barrier_eff -> Some (fun (k : (a, _) continuation) -> Sync.barrier sys node k)
+          | System.Read_fault_eff page ->
+              Some (fun (k : (a, _) continuation) -> Faults.read_fault sys node page k)
+          | System.Write_fault_eff page ->
+              Some (fun (k : (a, _) continuation) -> Faults.write_fault sys node page k)
+          | _ -> None);
+    }
+
+let describe_stuck sys =
+  let stuck = ref [] in
+  Array.iter
+    (fun (n : System.node_state) ->
+      if not n.System.finished then begin
+        let state =
+          match n.System.blocked with
+          | Some System.Wait_data -> "waiting for data"
+          | Some System.Wait_lock -> "waiting for a lock"
+          | Some System.Wait_barrier -> "waiting at a barrier"
+          | Some System.Wait_gc -> "waiting for GC"
+          | None -> "not blocked (runtime bug)"
+        in
+        stuck := Printf.sprintf "node %d: %s" n.System.id state :: !stuck
+      end)
+    sys.System.nodes;
+  String.concat "; " (List.rev !stuck)
+
+let collect sys =
+  let nodes =
+    Array.map
+      (fun (n : System.node_state) ->
+        {
+          nr_id = n.System.id;
+          nr_elapsed = n.System.mach.Machine.Node.clock -. n.System.start_clock;
+          nr_breakdown = Stats.breakdown_sub n.System.stats.Stats.b n.System.start_breakdown;
+          nr_counters = Stats.counters_sub n.System.stats.Stats.c n.System.start_counters;
+          nr_mem_peak = Mem.Accounting.peak n.System.stats.Stats.proto_mem;
+          nr_mem_end = Mem.Accounting.current n.System.stats.Stats.proto_mem;
+          nr_epochs = Stats.epoch_deltas n.System.stats;
+        })
+      sys.System.nodes
+  in
+  let elapsed = Array.fold_left (fun acc n -> Float.max acc n.nr_elapsed) 0. nodes in
+  {
+    r_config = sys.System.cfg;
+    r_elapsed = elapsed;
+    r_nodes = nodes;
+    r_shared_bytes = System.shared_bytes sys;
+    r_events = Sim.Engine.executed sys.System.engine;
+  }
+
+let run ?trace cfg app =
+  let sys = System.create cfg in
+  sys.System.trace <- trace;
+  Array.iter
+    (fun node ->
+      Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))
+    sys.System.nodes;
+  ignore (Sim.Engine.run sys.System.engine);
+  if sys.System.finished_count <> System.nprocs sys then
+    raise (System.Deadlock (describe_stuck sys));
+  collect sys
+
+let mean_compute r =
+  let total =
+    Array.fold_left (fun acc n -> acc +. n.nr_breakdown.Stats.compute) 0. r.r_nodes
+  in
+  total /. float_of_int (Array.length r.r_nodes)
+
+let total_messages r =
+  Array.fold_left (fun acc n -> acc + n.nr_counters.Stats.messages) 0 r.r_nodes
+
+let total_update_bytes r =
+  Array.fold_left (fun acc n -> acc + n.nr_counters.Stats.update_bytes) 0 r.r_nodes
+
+let total_protocol_bytes r =
+  Array.fold_left (fun acc n -> acc + n.nr_counters.Stats.protocol_bytes) 0 r.r_nodes
+
+let max_mem_peak r = Array.fold_left (fun acc n -> max acc n.nr_mem_peak) 0 r.r_nodes
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s on %d nodes: elapsed %.0f us@,"
+    (Config.protocol_name r.r_config.Config.protocol)
+    r.r_config.Config.nprocs r.r_elapsed;
+  Array.iter
+    (fun n ->
+      Format.fprintf ppf "  node %2d: %.0f us  %a@," n.nr_id n.nr_elapsed Stats.pp_breakdown
+        n.nr_breakdown)
+    r.r_nodes;
+  Format.fprintf ppf "@]"

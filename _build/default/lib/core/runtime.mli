@@ -1,0 +1,44 @@
+(** Run an application under a protocol and collect results.
+
+    [run cfg app] simulates [cfg.nprocs] processes all executing [app] (SPMD,
+    as in Splash-2) on the configured machine and protocol, and returns the
+    measured report. Raises {!System.Deadlock} if some process never
+    finishes (e.g. mismatched barriers). *)
+
+(** Per-node results, relative to the {!Api.start_timing} window (or the
+    whole run if never called). *)
+type node_report = {
+  nr_id : int;
+  nr_elapsed : float;  (** Node virtual time in the window, microseconds. *)
+  nr_breakdown : Stats.breakdown;
+  nr_counters : Stats.counters;
+  nr_mem_peak : int;  (** Peak live protocol memory, bytes. *)
+  nr_mem_end : int;  (** Live protocol memory at the end, bytes. *)
+  nr_epochs : Stats.breakdown list;  (** Per-barrier-epoch breakdowns. *)
+}
+
+type report = {
+  r_config : Config.t;
+  r_elapsed : float;  (** Parallel execution time = max node elapsed. *)
+  r_nodes : node_report array;
+  r_shared_bytes : int;  (** Total shared (application) memory. *)
+  r_events : int;  (** Simulation events executed (diagnostic). *)
+}
+
+(** Total computation time across nodes divided by node count: with one
+    node this is the sequential-execution baseline the paper's speedups
+    divide by. *)
+val mean_compute : report -> float
+
+val total_messages : report -> int
+
+val total_update_bytes : report -> int
+
+val total_protocol_bytes : report -> int
+
+(** Maximum peak protocol memory over the nodes, bytes. *)
+val max_mem_peak : report -> int
+
+val run : ?trace:(float -> string -> unit) -> Config.t -> (Api.ctx -> unit) -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,130 @@
+type breakdown = {
+  mutable compute : float;
+  mutable data : float;
+  mutable lock : float;
+  mutable barrier : float;
+  mutable protocol : float;
+  mutable gc : float;
+}
+
+let breakdown_zero () =
+  { compute = 0.; data = 0.; lock = 0.; barrier = 0.; protocol = 0.; gc = 0. }
+
+let breakdown_copy b =
+  {
+    compute = b.compute;
+    data = b.data;
+    lock = b.lock;
+    barrier = b.barrier;
+    protocol = b.protocol;
+    gc = b.gc;
+  }
+
+let breakdown_sub a b =
+  {
+    compute = a.compute -. b.compute;
+    data = a.data -. b.data;
+    lock = a.lock -. b.lock;
+    barrier = a.barrier -. b.barrier;
+    protocol = a.protocol -. b.protocol;
+    gc = a.gc -. b.gc;
+  }
+
+let breakdown_total b = b.compute +. b.data +. b.lock +. b.barrier +. b.protocol +. b.gc
+
+type counters = {
+  mutable read_misses : int;
+  mutable write_faults : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable lock_acquires : int;
+  mutable remote_acquires : int;
+  mutable barriers : int;
+  mutable messages : int;
+  mutable update_bytes : int;
+  mutable protocol_bytes : int;
+  mutable page_fetches : int;
+  mutable gc_runs : int;
+  mutable home_migrations : int;
+}
+
+let counters_copy c =
+  {
+    read_misses = c.read_misses;
+    write_faults = c.write_faults;
+    diffs_created = c.diffs_created;
+    diffs_applied = c.diffs_applied;
+    lock_acquires = c.lock_acquires;
+    remote_acquires = c.remote_acquires;
+    barriers = c.barriers;
+    messages = c.messages;
+    update_bytes = c.update_bytes;
+    protocol_bytes = c.protocol_bytes;
+    page_fetches = c.page_fetches;
+    gc_runs = c.gc_runs;
+    home_migrations = c.home_migrations;
+  }
+
+let counters_sub a b =
+  {
+    read_misses = a.read_misses - b.read_misses;
+    write_faults = a.write_faults - b.write_faults;
+    diffs_created = a.diffs_created - b.diffs_created;
+    diffs_applied = a.diffs_applied - b.diffs_applied;
+    lock_acquires = a.lock_acquires - b.lock_acquires;
+    remote_acquires = a.remote_acquires - b.remote_acquires;
+    barriers = a.barriers - b.barriers;
+    messages = a.messages - b.messages;
+    update_bytes = a.update_bytes - b.update_bytes;
+    protocol_bytes = a.protocol_bytes - b.protocol_bytes;
+    page_fetches = a.page_fetches - b.page_fetches;
+    gc_runs = a.gc_runs - b.gc_runs;
+    home_migrations = a.home_migrations - b.home_migrations;
+  }
+
+let counters_zero () =
+  {
+    read_misses = 0;
+    write_faults = 0;
+    diffs_created = 0;
+    diffs_applied = 0;
+    lock_acquires = 0;
+    remote_acquires = 0;
+    barriers = 0;
+    messages = 0;
+    update_bytes = 0;
+    protocol_bytes = 0;
+    page_fetches = 0;
+    gc_runs = 0;
+    home_migrations = 0;
+  }
+
+type t = {
+  b : breakdown;
+  c : counters;
+  proto_mem : Mem.Accounting.t;
+  mutable epochs : breakdown list;
+}
+
+let create () =
+  {
+    b = breakdown_zero ();
+    c = counters_zero ();
+    proto_mem = Mem.Accounting.create ();
+    epochs = [];
+  }
+
+let mark_epoch t = t.epochs <- breakdown_copy t.b :: t.epochs
+
+let epoch_deltas t =
+  let snaps = List.rev t.epochs in
+  let rec deltas prev = function
+    | [] -> []
+    | snap :: rest -> breakdown_sub snap prev :: deltas snap rest
+  in
+  deltas (breakdown_zero ()) snaps
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf
+    "@[<h>compute=%.0f data=%.0f lock=%.0f barrier=%.0f proto=%.0f gc=%.0f@]"
+    b.compute b.data b.lock b.barrier b.protocol b.gc

@@ -1,0 +1,70 @@
+(** Per-node instrumentation: the time breakdowns, operation counts,
+    communication traffic and memory figures behind the paper's Tables 2 and
+    4-6 and Figures 3-4. *)
+
+(** Execution-time breakdown buckets (paper Figure 3). All in microseconds
+    of the node's virtual time. *)
+type breakdown = {
+  mutable compute : float;  (** Application computation + memory access. *)
+  mutable data : float;  (** Waiting for remote pages / diffs. *)
+  mutable lock : float;  (** Waiting for lock grants. *)
+  mutable barrier : float;  (** Waiting at barriers. *)
+  mutable protocol : float;
+      (** Twin/diff/write-notice handling and servicing remote requests on
+          the compute processor. *)
+  mutable gc : float;  (** Garbage collection (homeless protocols). *)
+}
+
+val breakdown_zero : unit -> breakdown
+
+val breakdown_copy : breakdown -> breakdown
+
+(** [breakdown_sub a b] = a - b, componentwise (for epoch deltas). *)
+val breakdown_sub : breakdown -> breakdown -> breakdown
+
+val breakdown_total : breakdown -> float
+
+(** Operation and traffic counters (paper Tables 4-5). *)
+type counters = {
+  mutable read_misses : int;  (** Read faults needing remote data. *)
+  mutable write_faults : int;
+  mutable diffs_created : int;
+  mutable diffs_applied : int;
+  mutable lock_acquires : int;  (** All acquires, local and remote. *)
+  mutable remote_acquires : int;
+  mutable barriers : int;
+  mutable messages : int;  (** Messages sent by this node. *)
+  mutable update_bytes : int;  (** Diff and page payload bytes sent. *)
+  mutable protocol_bytes : int;  (** All other bytes sent. *)
+  mutable page_fetches : int;
+  mutable gc_runs : int;
+  mutable home_migrations : int;  (** Pages re-homed to this node. *)
+}
+
+val counters_zero : unit -> counters
+
+val counters_copy : counters -> counters
+
+(** [counters_sub a b] = a - b, componentwise (for timing-window deltas). *)
+val counters_sub : counters -> counters -> counters
+
+(** Full per-node statistics. *)
+type t = {
+  b : breakdown;
+  c : counters;
+  proto_mem : Mem.Accounting.t;  (** Live protocol-data bytes. *)
+  mutable epochs : breakdown list;
+      (** Snapshot of [b] at each barrier arrival, newest first; consecutive
+          differences give per-barrier-epoch breakdowns (Figure 4). *)
+}
+
+val create : unit -> t
+
+(** Record a barrier-arrival snapshot. *)
+val mark_epoch : t -> unit
+
+(** Per-epoch deltas in chronological order. The first element covers from
+    the start of the run to the first barrier. *)
+val epoch_deltas : t -> breakdown list
+
+val pp_breakdown : Format.formatter -> breakdown -> unit

@@ -1,0 +1,513 @@
+(* Central state of a simulated SVM machine: per-node protocol state, the
+   event engine, the network, and the low-level primitives every protocol
+   module builds on (messages, request service, blocking/resuming the
+   per-node application process).
+
+   Timing model (see DESIGN.md): each node's compute processor is a virtual
+   clock [mach.clock]; servicing an incoming request on the compute processor
+   adds (interrupt + cost) to that clock and the reply is timed from the
+   request's arrival. The communication co-processor is a separate
+   busy-until timeline. Protocol *state* mutations happen in event order,
+   which respects causality because every causal chain goes through messages
+   with strictly positive latency. *)
+
+type block_kind = Wait_data | Wait_lock | Wait_barrier | Wait_gc
+
+(* Per-node, per-page protocol state.
+
+   Homeless (LRC/OLRC) fields: [missing] holds the write notices (interval
+   records) not yet reflected in the local copy, [applied] the per-writer
+   maximal interval index already merged in (always a causally-closed cut).
+
+   Home-based (HLRC/OHLRC) fields: [needed] is the per-writer flush level the
+   home must have reached before the next page fetch may be served. *)
+type page_info = {
+  pi_page : int;
+  mutable missing : Proto.Interval.t list;
+  mutable applied : Proto.Vclock.t;
+  mutable needed : Proto.Vclock.t;
+  mutable needed_counted : bool;  (* memory-accounted once *)
+  mutable rc_backlog : Mem.Diff.t list;
+      (* eager-RC updates that arrived while the copy was still being
+         fetched, newest first; applied on install *)
+}
+
+(* Home-side state for a page homed at this node. [hp_flush.(i) = x] means
+   all of writer [i]'s diffs up to interval [x] are applied to the master
+   copy. Fetches whose [needed] exceeds [hp_flush] wait in [hp_pending]. *)
+type home_page = {
+  hp_page : int;
+  hp_flush : Proto.Vclock.t;
+  mutable hp_pending : pending_fetch list;
+}
+
+and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
+
+(* Distributed-lock state at one node (token-forwarding protocol; the
+   manager is [lock mod nprocs] and tracks the last requester). *)
+type lock_state = {
+  mutable lk_token : bool;  (* this node is at the tail of the request chain *)
+  mutable lk_held : bool;
+  mutable lk_waiting : bool;  (* this node has an acquire in flight *)
+  mutable lk_waiter : (int * Proto.Vclock.t) option;  (* forwarded requester *)
+}
+
+type node_state = {
+  id : int;
+  mach : Machine.Node.t;
+  pt : Mem.Page_table.t;
+  mutable pinfo : page_info option array;
+  vt : Proto.Vclock.t;  (* vt.(i) = latest completed interval of i known *)
+  mutable dirty : int list;  (* pages written during the current interval *)
+  known : Proto.Interval.t list array;  (* per creator, newest first *)
+  own_diffs : (int, (int * Mem.Diff.t * Proto.Vclock.t) list) Hashtbl.t;
+      (* page -> (interval, diff, vt at interval end), newest first *)
+  homes : (int, home_page) Hashtbl.t;  (* pages homed at this node *)
+  locks : (int, lock_state) Hashtbl.t;
+  stats : Stats.t;
+  mutable mgr_vt : Proto.Vclock.t;  (* global cut as of last barrier release *)
+  mutable reported : int;  (* own interval index last sent to the barrier mgr *)
+  (* Blocking state of the node's application process. *)
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable blocked : block_kind option;
+  mutable block_clock : float;
+  mutable wait_services : float;  (* service time charged while blocked *)
+  mutable rc_acks : int;  (* eager RC: update acknowledgements outstanding *)
+  mutable rc_drain : (float -> unit) list;
+      (* eager RC: actions (grants, barrier arrivals) deferred until the
+         outstanding updates are acknowledged *)
+  mutable in_gc : bool;  (* protocol work is re-billed to the GC bucket *)
+  mutable finished : bool;
+  mutable start_clock : float;  (* timing window start (Api.start_timing) *)
+  mutable start_breakdown : Stats.breakdown;
+  mutable start_counters : Stats.counters;
+}
+
+type barrier_state = {
+  mutable bar_arrived : int;
+  mutable bar_queue : (int * Proto.Vclock.t * Proto.Interval.t list) list;
+      (* queued arrivals: (node, vt, its new interval records) *)
+  mutable bar_mem_high : bool;  (* some node exceeded the GC threshold *)
+  mutable bar_epoch : int;
+  mutable bar_released : int;  (* releases applied (paranoid-check trigger) *)
+}
+
+type t = {
+  cfg : Config.t;
+  layout : Mem.Layout.t;
+  engine : Sim.Engine.t;
+  net : Machine.Network.t;
+  nodes : node_state array;
+  mutable next_addr : int;  (* shared address-space bump pointer (words) *)
+  home_tbl : (int, int) Hashtbl.t;  (* page -> home node *)
+  alloc_tbl : (int, int) Hashtbl.t;  (* page -> allocating node *)
+  keeper_tbl : (int, int) Hashtbl.t;
+      (* page -> node guaranteed to hold a full copy (the approximate
+         copyset of homeless protocols); updated only at GC points, which
+         are globally synchronized, so a single directory is sound *)
+  copyset_tbl : (int, int array) Hashtbl.t;
+      (* eager RC: page -> per-node membership phase. 0 = no copy;
+         1 = copy in flight (pushes must already reach it, via the install
+         backlog); 2 = installed (can serve fetches). Members are
+         registered when the serving node snapshots the page, so no push
+         can slip between the snapshot and the registration. *)
+  roots : (string, int) Hashtbl.t;  (* named shared allocations *)
+  lock_last : (int, int) Hashtbl.t;  (* manager state: lock -> last requester *)
+  channels : (int * int, float) Hashtbl.t;  (* (src,dst) -> last arrival *)
+  barrier : barrier_state;
+  migration_prev : (int, int) Hashtbl.t;
+      (* home migration: page -> dominant writer of the previous epoch
+         (hysteresis: move only on two consecutive agreeing epochs) *)
+  mutable gc_nodes_done : int;  (* GC rendezvous counter (homeless GC) *)
+  gc_on_done : (int, unit -> unit) Hashtbl.t;  (* per-node GC completions *)
+  mutable trace : (float -> string -> unit) option;
+  mutable finished_count : int;
+}
+
+(* The effects through which application processes enter the runtime. Only
+   operations that may block are effects; everything else is a direct call. *)
+type _ Effect.t +=
+  | Lock_eff : int -> unit Effect.t
+  | Barrier_eff : unit Effect.t
+  | Read_fault_eff : int -> unit Effect.t
+  | Write_fault_eff : int -> unit Effect.t
+
+exception Deadlock of string
+
+let header_bytes = 32
+
+let create (cfg : Config.t) =
+  let nprocs = cfg.Config.nprocs in
+  let layout = Mem.Layout.create ~page_words:cfg.Config.page_words in
+  let node id =
+    {
+      id;
+      mach = Machine.Node.create id;
+      pt = Mem.Page_table.create layout;
+      pinfo = [||];
+      vt = Proto.Vclock.create ~nprocs;
+      dirty = [];
+      known = Array.make nprocs [];
+      own_diffs = Hashtbl.create 64;
+      homes = Hashtbl.create 64;
+      locks = Hashtbl.create 16;
+      stats = Stats.create ();
+      mgr_vt = Proto.Vclock.create ~nprocs;
+      reported = -1;
+      cont = None;
+      blocked = None;
+      block_clock = 0.;
+      wait_services = 0.;
+      rc_acks = 0;
+      rc_drain = [];
+      in_gc = false;
+      finished = false;
+      start_clock = 0.;
+      start_breakdown = Stats.breakdown_zero ();
+      start_counters = Stats.counters_zero ();
+    }
+  in
+  {
+    cfg;
+    layout;
+    engine = Sim.Engine.create ();
+    net = Machine.Network.create ~costs:cfg.Config.costs ~nprocs;
+    nodes = Array.init nprocs node;
+    next_addr = 0;
+    home_tbl = Hashtbl.create 256;
+    alloc_tbl = Hashtbl.create 256;
+    keeper_tbl = Hashtbl.create 256;
+    copyset_tbl = Hashtbl.create 256;
+    roots = Hashtbl.create 16;
+    lock_last = Hashtbl.create 16;
+    channels = Hashtbl.create 64;
+    barrier =
+      { bar_arrived = 0; bar_queue = []; bar_mem_high = false; bar_epoch = 0; bar_released = 0 };
+    migration_prev = Hashtbl.create 64;
+    gc_nodes_done = 0;
+    gc_on_done = Hashtbl.create 8;
+    trace = None;
+    finished_count = 0;
+  }
+
+let nprocs t = t.cfg.Config.nprocs
+
+let costs t = t.cfg.Config.costs
+
+let home_based t = Config.home_based t.cfg.Config.protocol
+
+let overlapped t = Config.overlapped t.cfg.Config.protocol
+
+let aurc t = t.cfg.Config.protocol = Config.Aurc
+
+let eager_rc t = t.cfg.Config.protocol = Config.Rc
+
+(* Homeless protocols with lazy diff retention (the ones that need GC). *)
+let homeless_lazy t =
+  match t.cfg.Config.protocol with
+  | Config.Lrc | Config.Olrc -> true
+  | Config.Hlrc | Config.Ohlrc | Config.Aurc | Config.Rc -> false
+
+let now t = Sim.Engine.now t.engine
+
+let trace t node fmt =
+  match t.trace with
+  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  | Some emit ->
+      Format.kasprintf
+        (fun s -> emit node.mach.Machine.Node.clock (Printf.sprintf "[node %d] %s" node.id s))
+        fmt
+
+(* ------------------------------------------------------------------ *)
+(* Page metadata                                                      *)
+
+let page_info t node page =
+  let capacity = Array.length node.pinfo in
+  if page >= capacity then begin
+    let capacity' = max 64 (max (2 * capacity) (page + 1)) in
+    let pinfo' = Array.make capacity' None in
+    Array.blit node.pinfo 0 pinfo' 0 capacity;
+    node.pinfo <- pinfo'
+  end;
+  match node.pinfo.(page) with
+  | Some pi -> pi
+  | None ->
+      let np = nprocs t in
+      let pi =
+        {
+          pi_page = page;
+          missing = [];
+          applied = Proto.Vclock.create ~nprocs:np;
+          needed = Proto.Vclock.create ~nprocs:np;
+          needed_counted = false;
+          rc_backlog = [];
+        }
+      in
+      node.pinfo.(page) <- Some pi;
+      pi
+
+let home_of t page =
+  match Hashtbl.find_opt t.home_tbl page with
+  | Some h -> h
+  | None -> page mod nprocs t (* untouched fallback; malloc always registers *)
+
+let allocator_of t page =
+  match Hashtbl.find_opt t.alloc_tbl page with Some a -> a | None -> 0
+
+(* Node holding a full copy of [page] for homeless full-page fetches: the
+   last GC's keeper, or the allocator before any collection. *)
+let keeper_of t page =
+  match Hashtbl.find_opt t.keeper_tbl page with
+  | Some k -> k
+  | None -> allocator_of t page
+
+let home_page t node page =
+  match Hashtbl.find_opt node.homes page with
+  | Some hp -> hp
+  | None ->
+      let hp =
+        { hp_page = page; hp_flush = Proto.Vclock.create ~nprocs:(nprocs t); hp_pending = [] }
+      in
+      Hashtbl.replace node.homes page hp;
+      (* Home directory entry: one flush vector per owned page. *)
+      Mem.Accounting.add node.stats.Stats.proto_mem (Proto.Vclock.size_bytes hp.hp_flush);
+      hp
+
+(* ------------------------------------------------------------------ *)
+(* Time charging                                                      *)
+
+let charge_compute node dt =
+  Machine.Node.advance node.mach dt;
+  node.stats.Stats.b.Stats.compute <- node.stats.Stats.b.Stats.compute +. dt
+
+(* Protocol/GC work can also run while the node's process is blocked (e.g.
+   write-notice handling on a lock grant, interrupt service); crediting it to
+   [wait_services] keeps the wait buckets from double-counting it. *)
+let charge_protocol node dt =
+  Machine.Node.advance node.mach dt;
+  let b = node.stats.Stats.b in
+  if node.in_gc then b.Stats.gc <- b.Stats.gc +. dt
+  else b.Stats.protocol <- b.Stats.protocol +. dt;
+  if node.blocked <> None then node.wait_services <- node.wait_services +. dt
+
+let charge_gc node dt =
+  Machine.Node.advance node.mach dt;
+  node.stats.Stats.b.Stats.gc <- node.stats.Stats.b.Stats.gc +. dt;
+  if node.blocked <> None then node.wait_services <- node.wait_services +. dt
+
+(* ------------------------------------------------------------------ *)
+(* Messages                                                           *)
+
+(* [send t ~src ~dst ~at ~bytes ~update handler] delivers a message sent at
+   time [at]; [handler] runs at the arrival time. [update] is the portion of
+   [bytes] classified as update traffic (diff/page payload). Channels
+   between a (src, dst) pair are FIFO, as on a wormhole mesh: a later send
+   never overtakes an earlier one, which the home-based protocols rely on
+   (diff flush followed by lock grant to the home). *)
+let send t ~src ~dst ~at ~bytes ~update handler =
+  let c = src.stats.Stats.c in
+  if src.id <> dst then begin
+    c.Stats.messages <- c.Stats.messages + 1;
+    c.Stats.update_bytes <- c.Stats.update_bytes + update;
+    c.Stats.protocol_bytes <- c.Stats.protocol_bytes + (bytes - update)
+  end;
+  let transfer = Machine.Network.transfer_time t.net ~src:src.id ~dst ~bytes in
+  let arrival = at +. transfer in
+  let arrival =
+    if src.id = dst then arrival
+    else begin
+      let key = (src.id, dst) in
+      let last = try Hashtbl.find t.channels key with Not_found -> 0. in
+      let arrival = if arrival <= last then last +. 1e-6 else arrival in
+      Hashtbl.replace t.channels key arrival;
+      arrival
+    end
+  in
+  let arrival = Float.max arrival (now t) in
+  Sim.Engine.schedule t.engine ~at:arrival (fun () -> handler arrival)
+
+(* ------------------------------------------------------------------ *)
+(* Request service                                                    *)
+
+(* Service an incoming request on [node]'s compute processor: interrupt plus
+   [cost], charged to the node's protocol bucket (the paper's "remote request
+   service" overhead). Returns the completion time for the reply. *)
+let serve_compute t node ~arrival ~cost =
+  let c = costs t in
+  let total = c.Machine.Costs.receive_interrupt +. cost in
+  node.stats.Stats.b.Stats.protocol <- node.stats.Stats.b.Stats.protocol +. total;
+  if node.blocked <> None then node.wait_services <- node.wait_services +. total;
+  Machine.Node.interrupt_service node.mach ~interrupt:c.Machine.Costs.receive_interrupt ~arrival
+    ~cost
+
+(* Service on the communication co-processor: FIFO on its own timeline, no
+   compute-processor impact. *)
+let serve_coproc t node ~arrival ~cost =
+  let c = costs t in
+  Machine.Node.coproc_service node.mach ~dispatch:c.Machine.Costs.coproc_dispatch ~arrival ~cost
+
+(* Protocol-dependent placement: overlapped protocols serve diff/page work on
+   the co-processor, non-overlapped ones on the compute processor. *)
+let serve t node ~arrival ~cost =
+  if overlapped t then serve_coproc t node ~arrival ~cost
+  else serve_compute t node ~arrival ~cost
+
+(* Charge protocol work initiated by the node itself (not a remote request):
+   on the compute processor inline, or posted to the co-processor when the
+   protocol is overlapped. Returns the completion time of the work. *)
+let local_protocol_work t node ~cost =
+  if overlapped t then begin
+    (* The compute processor only pays the post-page request cost. *)
+    let c = costs t in
+    charge_protocol node c.Machine.Costs.coproc_dispatch;
+    Machine.Node.coproc_service node.mach ~dispatch:c.Machine.Costs.coproc_dispatch
+      ~arrival:node.mach.Machine.Node.clock ~cost
+  end
+  else begin
+    charge_protocol node cost;
+    node.mach.Machine.Node.clock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Blocking and resuming application processes                         *)
+
+let block _t node kind k =
+  assert (node.blocked = None);
+  assert (node.cont = None);
+  node.cont <- Some k;
+  node.blocked <- Some kind;
+  node.block_clock <- node.mach.Machine.Node.clock;
+  node.wait_services <- 0.
+
+(* Resume the node's blocked process at simulated time [at]: the wait (minus
+   any request service charged to the node during the wait) is accounted to
+   the bucket matching the block kind, and the continuation is re-entered
+   through the engine so handler stacks unwind. *)
+let resume t node ~at =
+  match (node.cont, node.blocked) with
+  | Some k, Some kind ->
+      node.cont <- None;
+      node.blocked <- None;
+      Machine.Node.sync_to node.mach at;
+      let wait =
+        Float.max 0. (node.mach.Machine.Node.clock -. node.block_clock -. node.wait_services)
+      in
+      let b = node.stats.Stats.b in
+      (match kind with
+      | Wait_data -> b.Stats.data <- b.Stats.data +. wait
+      | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
+      | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
+      | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
+      let at' = Float.max (now t) node.mach.Machine.Node.clock in
+      Sim.Engine.schedule t.engine ~at:at' (fun () -> Effect.Deep.continue k ())
+  | _ -> invalid_arg "System.resume: node is not blocked"
+
+(* Close the current wait bucket and continue blocking under a new kind
+   (barrier wait turning into GC wait). *)
+let rebucket_block _t node kind =
+  match node.blocked with
+  | None -> invalid_arg "System.rebucket_block: node is not blocked"
+  | Some old_kind ->
+      let wait =
+        Float.max 0. (node.mach.Machine.Node.clock -. node.block_clock -. node.wait_services)
+      in
+      let b = node.stats.Stats.b in
+      (match old_kind with
+      | Wait_data -> b.Stats.data <- b.Stats.data +. wait
+      | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
+      | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
+      | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
+      node.blocked <- Some kind;
+      node.block_clock <- node.mach.Machine.Node.clock;
+      node.wait_services <- 0.
+
+(* ------------------------------------------------------------------ *)
+(* Memory accounting helpers                                          *)
+
+let missing_entry_bytes = 16
+
+let account_interval node (iv : Proto.Interval.t) =
+  Mem.Accounting.add node.stats.Stats.proto_mem (Proto.Interval.size_bytes iv)
+
+let release_interval node (iv : Proto.Interval.t) =
+  Mem.Accounting.sub node.stats.Stats.proto_mem (Proto.Interval.size_bytes iv)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                         *)
+
+(* Allocate [words] of shared memory, page-aligned, with an optional
+   per-page home map. Registers page allocator (copyset seed for homeless
+   protocols) and home (home-based protocols). Returns the base address. *)
+let malloc t node ?name ?home_map words =
+  if words <= 0 then invalid_arg "malloc: words must be positive";
+  let base_page = Mem.Layout.pages_for t.layout t.next_addr in
+  let base = Mem.Layout.base_of_page t.layout base_page in
+  let npages = Mem.Layout.pages_for t.layout words in
+  for i = 0 to npages - 1 do
+    let page = base_page + i in
+    Hashtbl.replace t.alloc_tbl page node.id;
+    let home =
+      match home_map with
+      | Some f -> f i
+      | None -> (
+          match t.cfg.Config.home_policy with
+          | Config.Round_robin -> page mod nprocs t
+          | Config.Block -> min (nprocs t - 1) (i * nprocs t / npages)
+          | Config.Allocator -> node.id)
+    in
+    Hashtbl.replace t.home_tbl page (home mod nprocs t)
+  done;
+  t.next_addr <- base + words;
+  (match name with Some n -> Hashtbl.replace t.roots n base | None -> ());
+  base
+
+let root t name =
+  match Hashtbl.find_opt t.roots name with
+  | Some addr -> addr
+  | None -> invalid_arg (Printf.sprintf "System.root: no allocation named %S" name)
+
+let shared_bytes t = t.next_addr * Mem.Layout.word_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Eager RC support                                                   *)
+
+let copyset t page =
+  match Hashtbl.find_opt t.copyset_tbl page with
+  | Some set -> set
+  | None ->
+      let set = Array.make (nprocs t) 0 in
+      Hashtbl.replace t.copyset_tbl page set;
+      set
+
+(* Joining member: pushes from now on must reach it. *)
+let register_copy t node page =
+  let set = copyset t page in
+  if set.(node.id) = 0 then set.(node.id) <- 1
+
+(* The member's copy is installed and may serve fetches. *)
+let mark_copy_installed t node page = (copyset t page).(node.id) <- 2
+
+(* A member whose copy is installed, if any. *)
+let installed_member t page =
+  let set = copyset t page in
+  let rec go i =
+    if i >= Array.length set then None else if set.(i) = 2 then Some i else go (i + 1)
+  in
+  go 0
+
+(* Run [f] once all of this node's pushed updates are acknowledged (eager
+   RC release semantics: the handoff must not overtake the updates). *)
+let rc_when_drained t node f =
+  if (not (eager_rc t)) || node.rc_acks = 0 then f node.mach.Machine.Node.clock
+  else node.rc_drain <- f :: node.rc_drain
+
+let rc_ack_arrived t node ~at =
+  assert (node.rc_acks > 0);
+  node.rc_acks <- node.rc_acks - 1;
+  Machine.Node.sync_to node.mach at;
+  ignore t;
+  if node.rc_acks = 0 then begin
+    let actions = List.rev node.rc_drain in
+    node.rc_drain <- [];
+    List.iter (fun f -> f node.mach.Machine.Node.clock) actions
+  end

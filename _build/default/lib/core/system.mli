@@ -1,0 +1,254 @@
+(** Central state of a simulated SVM machine and the primitives every
+    protocol module builds on: per-node protocol state, the event engine,
+    the network, message delivery, request service, and the blocking /
+    resuming of per-node application processes.
+
+    {1 Timing model}
+
+    Each node's compute processor is a virtual clock ([mach.clock]);
+    servicing an incoming request on it adds (interrupt + cost) to that
+    clock while the reply is timed from the request's arrival. The
+    communication co-processor is a separate FIFO busy-until timeline.
+    Protocol {e state} mutations happen in event-execution order, which
+    respects causality because every causal chain crosses messages with
+    strictly positive latency (see DESIGN.md). *)
+
+(** What a suspended application process is waiting for; selects the
+    Figure-3 bucket its wait is accounted to. *)
+type block_kind = Wait_data | Wait_lock | Wait_barrier | Wait_gc
+
+(** Per-node, per-page protocol state. Homeless protocols use [missing]
+    (unapplied write notices) and [applied] (the causally-closed per-writer
+    cut merged into the local copy); home-based ones use [needed] (the
+    flush level the home must reach before the next fetch); eager RC parks
+    in-flight pushes in [rc_backlog]. *)
+type page_info = {
+  pi_page : int;
+  mutable missing : Proto.Interval.t list;
+  mutable applied : Proto.Vclock.t;
+  mutable needed : Proto.Vclock.t;
+  mutable needed_counted : bool;
+  mutable rc_backlog : Mem.Diff.t list;
+}
+
+(** Home-side state of a page homed at this node: the per-writer flush
+    level of the master copy and the fetches waiting for it to advance. *)
+type home_page = {
+  hp_page : int;
+  hp_flush : Proto.Vclock.t;
+  mutable hp_pending : pending_fetch list;
+}
+
+and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
+
+(** Distributed-lock state at one node (token forwarding; the manager
+    tracks the last requester). *)
+type lock_state = {
+  mutable lk_token : bool;
+  mutable lk_held : bool;
+  mutable lk_waiting : bool;
+  mutable lk_waiter : (int * Proto.Vclock.t) option;
+}
+
+type node_state = {
+  id : int;
+  mach : Machine.Node.t;
+  pt : Mem.Page_table.t;
+  mutable pinfo : page_info option array;
+  vt : Proto.Vclock.t;  (** vt.(i) = latest completed interval of i known. *)
+  mutable dirty : int list;  (** Pages written during the current interval. *)
+  known : Proto.Interval.t list array;  (** Records per creator, newest first. *)
+  own_diffs : (int, (int * Mem.Diff.t * Proto.Vclock.t) list) Hashtbl.t;
+  homes : (int, home_page) Hashtbl.t;
+  locks : (int, lock_state) Hashtbl.t;
+  stats : Stats.t;
+  mutable mgr_vt : Proto.Vclock.t;
+  mutable reported : int;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable blocked : block_kind option;
+  mutable block_clock : float;
+  mutable wait_services : float;
+  mutable rc_acks : int;
+  mutable rc_drain : (float -> unit) list;
+  mutable in_gc : bool;
+  mutable finished : bool;
+  mutable start_clock : float;
+  mutable start_breakdown : Stats.breakdown;
+  mutable start_counters : Stats.counters;
+}
+
+type barrier_state = {
+  mutable bar_arrived : int;
+  mutable bar_queue : (int * Proto.Vclock.t * Proto.Interval.t list) list;
+  mutable bar_mem_high : bool;
+  mutable bar_epoch : int;
+  mutable bar_released : int;
+}
+
+type t = {
+  cfg : Config.t;
+  layout : Mem.Layout.t;
+  engine : Sim.Engine.t;
+  net : Machine.Network.t;
+  nodes : node_state array;
+  mutable next_addr : int;
+  home_tbl : (int, int) Hashtbl.t;
+  alloc_tbl : (int, int) Hashtbl.t;
+  keeper_tbl : (int, int) Hashtbl.t;
+  copyset_tbl : (int, int array) Hashtbl.t;
+  roots : (string, int) Hashtbl.t;
+  lock_last : (int, int) Hashtbl.t;
+  channels : (int * int, float) Hashtbl.t;
+  barrier : barrier_state;
+  migration_prev : (int, int) Hashtbl.t;
+  mutable gc_nodes_done : int;
+  gc_on_done : (int, unit -> unit) Hashtbl.t;
+  mutable trace : (float -> string -> unit) option;
+  mutable finished_count : int;
+}
+
+(** The effects through which application processes enter the runtime; only
+    operations that may suspend the process are effects. *)
+type _ Effect.t +=
+  | Lock_eff : int -> unit Effect.t
+  | Barrier_eff : unit Effect.t
+  | Read_fault_eff : int -> unit Effect.t
+  | Write_fault_eff : int -> unit Effect.t
+
+(** Raised by the runtime when the event queue drains with unfinished
+    processes (e.g. mismatched barriers); carries a diagnosis. *)
+exception Deadlock of string
+
+(** Fixed per-message header, bytes. *)
+val header_bytes : int
+
+val create : Config.t -> t
+
+val nprocs : t -> int
+
+val costs : t -> Machine.Costs.t
+
+(** Protocol predicates (from the configuration). *)
+
+val home_based : t -> bool
+
+val overlapped : t -> bool
+
+val aurc : t -> bool
+
+val eager_rc : t -> bool
+
+(** Homeless with lazy diff retention (LRC/OLRC): the protocols that need
+    garbage collection. *)
+val homeless_lazy : t -> bool
+
+(** Current simulated time. *)
+val now : t -> float
+
+(** Emit a line on the run's trace hook (no-op when tracing is off). *)
+val trace : t -> node_state -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Per-page metadata of a node, created on first use. *)
+val page_info : t -> node_state -> int -> page_info
+
+(** The page's home node (home-based protocols). *)
+val home_of : t -> int -> int
+
+(** The node that allocated the page. *)
+val allocator_of : t -> int -> int
+
+(** Node guaranteed to hold a full copy, for homeless full-page fetches:
+    the last GC's keeper, or the allocator before any collection. *)
+val keeper_of : t -> int -> int
+
+(** Home-side record of a page homed at [node], created on first use. *)
+val home_page : t -> node_state -> int -> home_page
+
+(** {1 Time charging} *)
+
+val charge_compute : node_state -> float -> unit
+
+val charge_protocol : node_state -> float -> unit
+
+val charge_gc : node_state -> float -> unit
+
+(** {1 Messages and request service} *)
+
+(** [send t ~src ~dst ~at ~bytes ~update handler] delivers a message sent at
+    time [at]; [handler] runs at the arrival time. [update] is the part of
+    [bytes] counted as update traffic. Channels between a (src, dst) pair
+    are FIFO, as on a wormhole mesh. *)
+val send :
+  t ->
+  src:node_state ->
+  dst:int ->
+  at:float ->
+  bytes:int ->
+  update:int ->
+  (float -> unit) ->
+  unit
+
+(** Service an incoming request on the node's compute processor (interrupt +
+    cost, charged to its protocol bucket); returns the completion time. *)
+val serve_compute : t -> node_state -> arrival:float -> cost:float -> float
+
+(** Service on the communication co-processor (FIFO, no compute impact). *)
+val serve_coproc : t -> node_state -> arrival:float -> cost:float -> float
+
+(** Placement by protocol: co-processor when overlapped, else compute. *)
+val serve : t -> node_state -> arrival:float -> cost:float -> float
+
+(** Protocol work initiated by the node itself: inline on the compute
+    processor, or posted to the co-processor when overlapped. Returns the
+    completion time. *)
+val local_protocol_work : t -> node_state -> cost:float -> float
+
+(** {1 Blocking and resuming application processes} *)
+
+val block : t -> node_state -> block_kind -> (unit, unit) Effect.Deep.continuation -> unit
+
+(** Close the current wait bucket and continue blocking under a new kind
+    (barrier wait turning into GC wait). *)
+val rebucket_block : t -> node_state -> block_kind -> unit
+
+(** Resume the node's suspended process at simulated time [at], accounting
+    the wait to the bucket of its block kind. *)
+val resume : t -> node_state -> at:float -> unit
+
+(** {1 Memory accounting} *)
+
+val missing_entry_bytes : int
+
+val account_interval : node_state -> Proto.Interval.t -> unit
+
+val release_interval : node_state -> Proto.Interval.t -> unit
+
+(** {1 Allocation} *)
+
+(** Allocate page-aligned shared memory; see {!Api.malloc}. *)
+val malloc : t -> node_state -> ?name:string -> ?home_map:(int -> int) -> int -> int
+
+val root : t -> string -> int
+
+(** Total allocated shared memory, bytes. *)
+val shared_bytes : t -> int
+
+(** {1 Eager RC support} *)
+
+(** The page's copyset phases: 0 = no copy, 1 = fetching, 2 = installed. *)
+val copyset : t -> int -> int array
+
+(** Join the copyset (phase 1): pushes from now on must reach this node. *)
+val register_copy : t -> node_state -> int -> unit
+
+(** The node's copy installed (phase 2): it may serve fetches. *)
+val mark_copy_installed : t -> node_state -> int -> unit
+
+(** Some installed member, if any. *)
+val installed_member : t -> int -> int option
+
+(** Run [f] once all of the node's pushed updates are acknowledged. *)
+val rc_when_drained : t -> node_state -> (float -> unit) -> unit
+
+(** One acknowledgement arrived; runs the deferred actions at zero. *)
+val rc_ack_arrived : t -> node_state -> at:float -> unit

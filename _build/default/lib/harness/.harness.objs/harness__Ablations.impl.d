@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Apps Array Float Format List Machine Matrix String Svm

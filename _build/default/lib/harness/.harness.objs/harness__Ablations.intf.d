@@ -1,0 +1,1 @@
+lib/harness/ablations.mli: Apps Format Matrix

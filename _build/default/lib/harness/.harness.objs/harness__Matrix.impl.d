@@ -1,0 +1,1 @@
+lib/harness/matrix.ml: Apps Array Hashtbl Printf Svm

@@ -1,0 +1,1 @@
+lib/harness/matrix.mli: Apps Svm

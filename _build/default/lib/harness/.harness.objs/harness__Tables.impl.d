@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Apps Array Format List Machine Matrix Printf String Svm

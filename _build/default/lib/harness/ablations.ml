@@ -1,0 +1,165 @@
+(* Ablation studies of the design choices DESIGN.md calls out.
+
+   These go beyond the paper's tables: each isolates one mechanism the
+   paper argues about in prose — home placement (§4.4), the
+   latency/interrupt sensitivity of the homeless-vs-home-based gap (§4.8
+   discussion), and the page-size-induced false-sharing trade-off (§1). *)
+
+let title ppf s = Format.fprintf ppf "@.=== %s ===@.@." s
+
+let hline ppf n = Format.fprintf ppf "%s@." (String.make n '-')
+
+let elapsed_of cfg body =
+  let r = Svm.Runtime.run cfg (body ~verify:false) in
+  (r.Svm.Runtime.r_elapsed, r)
+
+(* --- Home placement (paper 4.4: "if homes are chosen intelligently") --- *)
+
+let lu_params scale =
+  match scale with
+  | Apps.Registry.Test -> { Apps.Lu.default with n = 64; block = 16 }
+  | Apps.Registry.Bench -> { Apps.Lu.default with n = 512; block = 32; flop_us = 0.7 }
+  | Apps.Registry.Full -> { Apps.Lu.default with n = 1024; block = 32; flop_us = 0.7 }
+
+let home_placement ppf ~scale ~node_counts =
+  title ppf "Ablation: home placement for LU under HLRC (paper 4.4)";
+  Format.fprintf ppf "%-8s %14s %14s %14s %10s@." "nodes" "owner homes(s)" "round robin(s)"
+    "allocator(s)" "owner gain";
+  hline ppf 68;
+  List.iter
+    (fun np ->
+      let run ~owner_homes ~policy =
+        let p = { (lu_params scale) with Apps.Lu.owner_homes } in
+        let cfg = Svm.Config.make ~home_policy:policy ~nprocs:np Svm.Config.Hlrc in
+        fst (elapsed_of cfg (fun ~verify ctx -> Apps.Lu.body ~verify p ctx))
+      in
+      let owner = run ~owner_homes:true ~policy:Svm.Config.Round_robin in
+      let rr = run ~owner_homes:false ~policy:Svm.Config.Round_robin in
+      let alloc = run ~owner_homes:false ~policy:Svm.Config.Allocator in
+      Format.fprintf ppf "%-8d %14.3f %14.3f %14.3f %9.2fx@." np (owner /. 1e6) (rr /. 1e6)
+        (alloc /. 1e6)
+        (Float.min rr alloc /. owner))
+    node_counts
+
+(* --- Network parameters (paper 4.8: "fast interrupts and low latency
+   messages... the performance gap between the home-based and the homeless
+   protocols would probably be smaller") --- *)
+
+let network_sensitivity ppf ~scale ~node_counts =
+  title ppf "Ablation: network sensitivity of the LRC/HLRC gap (paper 4.8 discussion)";
+  Format.fprintf ppf
+    "Paragon profile: 50us latency, 690us interrupt. Low-latency profile: 5us, 10us.@.@.";
+  Format.fprintf ppf "%-16s %5s | %21s | %21s@." "" "nodes" "Paragon LRC/HLRC" "low-lat LRC/HLRC";
+  hline ppf 75;
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun np ->
+          let gap costs =
+            let run proto =
+              let cfg = Svm.Config.make ~costs ~nprocs:np proto in
+              fst (elapsed_of cfg app.Apps.Registry.body)
+            in
+            run Svm.Config.Lrc /. run Svm.Config.Hlrc
+          in
+          Format.fprintf ppf "%-16s %5d | %21.2f | %21.2f@." app.Apps.Registry.name np
+            (gap Machine.Costs.paragon)
+            (gap Machine.Costs.low_latency))
+        node_counts)
+    [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ]
+
+(* --- Page size (coherence granularity vs false sharing) --- *)
+
+let page_size ppf ~scale ~node_counts =
+  title ppf "Ablation: page size (coherence granularity) under HLRC";
+  Format.fprintf ppf "%-16s %5s | %12s %12s %12s@." "" "nodes" "4KB (s)" "8KB (s)" "16KB (s)";
+  hline ppf 70;
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun np ->
+          let run page_words =
+            let cfg = Svm.Config.make ~page_words ~nprocs:np Svm.Config.Hlrc in
+            fst (elapsed_of cfg app.Apps.Registry.body) /. 1e6
+          in
+          Format.fprintf ppf "%-16s %5d | %12.3f %12.3f %12.3f@." app.Apps.Registry.name np
+            (run 512) (run 1024) (run 2048))
+        node_counts)
+    [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ]
+
+(* --- Lock service placement (paper 4.3: "could be reduced to only 150us
+   if this service were moved to the co-processor") --- *)
+
+let coproc_locks ppf ~scale ~node_counts =
+  title ppf "Ablation: lock service on the co-processor under OHLRC (paper 4.3 extension)";
+  Format.fprintf ppf "%-16s %5s | %14s %14s %10s@." "" "nodes" "compute (s)" "coproc (s)"
+    "gain";
+  hline ppf 70;
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun np ->
+          let run coproc_locks =
+            let cfg = Svm.Config.make ~coproc_locks ~nprocs:np Svm.Config.Ohlrc in
+            fst (elapsed_of cfg app.Apps.Registry.body) /. 1e6
+          in
+          let slow = run false and fast = run true in
+          Format.fprintf ppf "%-16s %5d | %14.3f %14.3f %9.2fx@." app.Apps.Registry.name np
+            slow fast (slow /. fast))
+        node_counts)
+    [ Apps.Registry.water_nsq scale; Apps.Registry.raytrace scale ]
+
+(* --- The wider protocol family: eager RC (the predecessor LRC relaxed,
+   paper 2), the paper's LRC/HLRC, and AURC (the hardware baseline HLRC
+   approximates, paper 2.2-2.3 and references [15,16]) --- *)
+
+let aurc_comparison ppf m ~node_counts =
+  title ppf "Protocol family: eager RC vs LRC vs HLRC vs AURC (paper 2.2-2.3)";
+  Format.fprintf ppf "%-16s %5s | %8s %8s %8s %8s | %10s %10s@." "" "nodes" "RC" "LRC" "HLRC"
+    "AURC" "RC updMB" "AURC updMB";
+  hline ppf 92;
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun np ->
+          let speedup proto = Matrix.speedup m app proto np in
+          let upd proto =
+            float_of_int (Svm.Runtime.total_update_bytes (Matrix.get m app proto np))
+            /. 1048576.0
+          in
+          Format.fprintf ppf "%-16s %5d | %8.2f %8.2f %8.2f %8.2f | %10.2f %10.2f@."
+            app.Apps.Registry.name np (speedup Svm.Config.Rc) (speedup Svm.Config.Lrc)
+            (speedup Svm.Config.Hlrc) (speedup Svm.Config.Aurc) (upd Svm.Config.Rc)
+            (upd Svm.Config.Aurc))
+        node_counts)
+    (Apps.Registry.all (Matrix.scale m))
+
+(* --- Adaptive home migration (extension): repairing un-hinted placement
+   at run time --- *)
+
+let home_migration ppf ~scale ~node_counts =
+  title ppf "Ablation: adaptive home migration under HLRC (extension)";
+  Format.fprintf ppf
+    "LU without placement hints (round-robin homes), with and without migration.@.@.";
+  Format.fprintf ppf "%-8s %12s %14s %12s %10s@." "nodes" "fixed (s)" "migrating (s)" "moves"
+    "gain";
+  hline ppf 62;
+  let p = { (lu_params scale) with Apps.Lu.owner_homes = false } in
+  List.iter
+    (fun np ->
+      let run home_migration =
+        let cfg = Svm.Config.make ~home_migration ~nprocs:np Svm.Config.Hlrc in
+        Svm.Runtime.run cfg (fun ctx -> Apps.Lu.body ~verify:false p ctx)
+      in
+      let fixed = run false and migrating = run true in
+      let moves =
+        Array.fold_left
+          (fun acc n -> acc + n.Svm.Runtime.nr_counters.Svm.Stats.home_migrations)
+          0 migrating.Svm.Runtime.r_nodes
+      in
+      Format.fprintf ppf "%-8d %12.3f %14.3f %12d %9.2fx@." np
+        (fixed.Svm.Runtime.r_elapsed /. 1e6)
+        (migrating.Svm.Runtime.r_elapsed /. 1e6)
+        moves
+        (fixed.Svm.Runtime.r_elapsed /. migrating.Svm.Runtime.r_elapsed))
+    node_counts

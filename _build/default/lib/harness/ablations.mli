@@ -1,0 +1,28 @@
+(** Ablation studies of design choices the paper argues about in prose,
+    plus the wider protocol-family comparison. Results and interpretation
+    live in EXPERIMENTS.md. *)
+
+(** Home placement for LU under HLRC: owner-homed blocks vs the fallback
+    policies (paper §4.4's "chosen intelligently"). *)
+val home_placement :
+  Format.formatter -> scale:Apps.Registry.scale -> node_counts:int list -> unit
+
+(** Sensitivity of the LRC/HLRC gap to network parameters: Paragon profile
+    vs a modern low-latency profile (the paper's §4.8 discussion). *)
+val network_sensitivity :
+  Format.formatter -> scale:Apps.Registry.scale -> node_counts:int list -> unit
+
+(** Coherence granularity: 4/8/16 KB pages under HLRC. *)
+val page_size : Format.formatter -> scale:Apps.Registry.scale -> node_counts:int list -> unit
+
+(** Lock service on the co-processor (the paper's §4.3 suggestion). *)
+val coproc_locks :
+  Format.formatter -> scale:Apps.Registry.scale -> node_counts:int list -> unit
+
+(** The protocol family of the paper's §2: eager RC vs LRC vs HLRC vs AURC
+    (speedups and update traffic). *)
+val aurc_comparison : Format.formatter -> Matrix.t -> node_counts:int list -> unit
+
+(** Adaptive home migration (extension) on un-hinted LU. *)
+val home_migration :
+  Format.formatter -> scale:Apps.Registry.scale -> node_counts:int list -> unit

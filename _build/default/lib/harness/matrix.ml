@@ -1,0 +1,54 @@
+(* Memoized (application x protocol x node-count) run matrix.
+
+   Every paper table/figure slices the same grid of simulations; running
+   each cell once and caching the report keeps the full table set
+   affordable. The sequential baseline for speedups is the pure computation
+   time of a one-node run (protocol-independent; the paper measures real
+   sequential executables the same way). *)
+
+type key = { k_app : string; k_proto : Svm.Config.protocol; k_np : int }
+
+type t = {
+  scale : Apps.Registry.scale;
+  verify : bool;
+  cache : (key, Svm.Runtime.report) Hashtbl.t;
+  mutable progress : (string -> unit) option;
+}
+
+let create ?(verify = true) ~scale () =
+  { scale; verify; cache = Hashtbl.create 64; progress = None }
+
+let on_progress t f = t.progress <- Some f
+
+let scale t = t.scale
+
+let get t (app : Apps.Registry.t) proto np =
+  let key = { k_app = app.Apps.Registry.name; k_proto = proto; k_np = np } in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      (match t.progress with
+      | Some f ->
+          f
+            (Printf.sprintf "running %s / %s / %d nodes..." app.Apps.Registry.name
+               (Svm.Config.protocol_name proto) np)
+      | None -> ());
+      let cfg = Svm.Config.make ~nprocs:np proto in
+      let r = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:t.verify) in
+      Hashtbl.replace t.cache key r;
+      r
+
+(* Sequential baseline: computation-only time of a one-node run. *)
+let seq_time t app =
+  let r = get t app Svm.Config.Hlrc 1 in
+  r.Svm.Runtime.r_nodes.(0).Svm.Runtime.nr_breakdown.Svm.Stats.compute
+
+let speedup t app proto np =
+  let seq = seq_time t app in
+  let r = get t app proto np in
+  seq /. r.Svm.Runtime.r_elapsed
+
+(* Averages of a per-node integer counter. *)
+let mean_counter (r : Svm.Runtime.report) f =
+  let total = Array.fold_left (fun acc n -> acc + f n.Svm.Runtime.nr_counters) 0 r.Svm.Runtime.r_nodes in
+  float_of_int total /. float_of_int (Array.length r.Svm.Runtime.r_nodes)

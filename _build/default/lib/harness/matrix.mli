@@ -1,0 +1,29 @@
+(** Memoized (application x protocol x node count) run matrix.
+
+    Every paper table and figure slices the same grid of simulations;
+    running each cell once and caching the report keeps regenerating the
+    full set affordable. *)
+
+type t
+
+(** [create ~scale ()] builds an empty matrix; [verify] (default true)
+    checks every run against its sequential reference. *)
+val create : ?verify:bool -> scale:Apps.Registry.scale -> unit -> t
+
+(** Install a progress callback (called before each uncached run). *)
+val on_progress : t -> (string -> unit) -> unit
+
+val scale : t -> Apps.Registry.scale
+
+(** Run (or recall) one cell. *)
+val get : t -> Apps.Registry.t -> Svm.Config.protocol -> int -> Svm.Runtime.report
+
+(** Sequential baseline: the computation-only time of a one-node run
+    (protocol-independent; what the paper divides by for speedups). *)
+val seq_time : t -> Apps.Registry.t -> float
+
+(** [speedup m app proto np] = sequential time / parallel elapsed. *)
+val speedup : t -> Apps.Registry.t -> Svm.Config.protocol -> int -> float
+
+(** Mean over nodes of one per-node counter. *)
+val mean_counter : Svm.Runtime.report -> (Svm.Stats.counters -> int) -> float

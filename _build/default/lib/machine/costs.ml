@@ -1,0 +1,69 @@
+type t = {
+  message_latency : float;
+  byte_transfer : float;
+  per_hop : float;
+  receive_interrupt : float;
+  twin_copy : float;
+  diff_create_base : float;
+  diff_create_per_word : float;
+  diff_apply_base : float;
+  diff_apply_per_word : float;
+  page_fault : float;
+  page_invalidate : float;
+  page_protect : float;
+  mem_access : float;
+  lock_service : float;
+  barrier_service : float;
+  write_notice_handle : float;
+  coproc_dispatch : float;
+}
+
+(* Table 3 of the paper, reconstructed (DESIGN.md, "Cost-table
+   reconstruction"): page transfer of an 8 KB page costs 92 us, hence
+   92 / 8192 us per byte. Diff creation scans the whole page
+   (140 + 1024 words * 0.28 ~= 427 us for an 8 KB page of 8-byte words);
+   diff application is proportional to the diff size, topping out near the
+   paper's 430 us for a full-page diff. *)
+let paragon =
+  {
+    message_latency = 50.0;
+    byte_transfer = 92.0 /. 8192.0;
+    per_hop = 0.02;
+    receive_interrupt = 690.0;
+    twin_copy = 120.0;
+    diff_create_base = 140.0;
+    diff_create_per_word = 0.28;
+    diff_apply_base = 10.0;
+    diff_apply_per_word = 0.41;
+    page_fault = 290.0;
+    page_invalidate = 10.0;
+    page_protect = 50.0;
+    mem_access = 0.08;
+    lock_service = 10.0;
+    barrier_service = 20.0;
+    write_notice_handle = 2.0;
+    coproc_dispatch = 5.0;
+  }
+
+let default = paragon
+
+let low_latency =
+  {
+    paragon with
+    message_latency = 5.0;
+    receive_interrupt = 10.0;
+    page_fault = 30.0;
+    byte_transfer = 8.0 /. 8192.0;
+  }
+
+let pp ppf t =
+  let row label value = Format.fprintf ppf "%-28s %10.2f us@." label value in
+  row "Message latency" t.message_latency;
+  row "Page transfer (8 KB)" (t.byte_transfer *. 8192.0);
+  row "Receive interrupt" t.receive_interrupt;
+  row "Twin copy" t.twin_copy;
+  row "Diff creation (8 KB page)" (t.diff_create_base +. (1024.0 *. t.diff_create_per_word));
+  row "Diff application (max)" (t.diff_apply_base +. (1024.0 *. t.diff_apply_per_word));
+  row "Page fault" t.page_fault;
+  row "Page invalidation" t.page_invalidate;
+  row "Page protection" t.page_protect

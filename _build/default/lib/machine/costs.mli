@@ -1,0 +1,41 @@
+(** Cost model for the simulated multicomputer.
+
+    All times are in microseconds. Defaults reproduce the Intel Paragon
+    numbers from Table 3 of the paper, reconstructed from the arithmetic in
+    its Section 4.3 (see DESIGN.md for the derivation). *)
+
+type t = {
+  message_latency : float;
+      (** One-way small-message latency (software overhead + wire). *)
+  byte_transfer : float;  (** Per-byte payload transfer cost. *)
+  per_hop : float;  (** Extra latency per mesh hop (wormhole: tiny). *)
+  receive_interrupt : float;
+      (** Cost of interrupting the compute processor to service an incoming
+          request (non-overlapped protocols only). *)
+  twin_copy : float;  (** Copying one page to create a twin. *)
+  diff_create_base : float;  (** Fixed cost of creating one diff. *)
+  diff_create_per_word : float;  (** Per page word scanned during diffing. *)
+  diff_apply_base : float;  (** Fixed cost of applying one diff. *)
+  diff_apply_per_word : float;  (** Per modified word applied. *)
+  page_fault : float;  (** Taking a page fault (trap + handler entry). *)
+  page_invalidate : float;  (** Invalidating one page mapping. *)
+  page_protect : float;  (** Changing one page's protection. *)
+  mem_access : float;  (** Fast-path shared-memory access (no fault). *)
+  lock_service : float;  (** Lock manager/holder request handling. *)
+  barrier_service : float;  (** Barrier manager per-arrival handling. *)
+  write_notice_handle : float;  (** Processing one received write notice. *)
+  coproc_dispatch : float;
+      (** Co-processor dispatch-loop overhead per serviced request. *)
+}
+
+(** Paragon values (the paper's Table 3). *)
+val paragon : t
+
+(** Alias for {!paragon}. *)
+val default : t
+
+(** A low-latency network profile (modern NIC-style: cheap messages and
+    interrupts) used by the §4.8 discussion experiments. *)
+val low_latency : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,23 @@
+(** 2-D wormhole-routed mesh network cost model.
+
+    Nodes are laid out row-major on a [width x height] mesh, the smallest
+    near-square mesh holding [nprocs] nodes (the Paragon arrangement). A
+    message costs one software latency, a tiny per-hop wire term and a
+    per-byte payload term; wormhole routing makes the hop term nearly
+    negligible, matching the paper's flat latency numbers. *)
+
+type t
+
+val create : costs:Costs.t -> nprocs:int -> t
+
+val nprocs : t -> int
+
+val costs : t -> Costs.t
+
+(** Manhattan distance between two nodes on the mesh. *)
+val hops : t -> src:int -> dst:int -> int
+
+(** [transfer_time t ~src ~dst ~bytes] is the one-way delivery time of a
+    message with [bytes] of payload. [src = dst] models a loopback message
+    with zero cost. *)
+val transfer_time : t -> src:int -> dst:int -> bytes:int -> float

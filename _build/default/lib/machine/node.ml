@@ -1,0 +1,31 @@
+type t = {
+  id : int;
+  mutable clock : float;
+  mutable coproc_busy : float;
+  mutable interrupts : int;
+  mutable coproc_requests : int;
+}
+
+let create id = { id; clock = 0.; coproc_busy = 0.; interrupts = 0; coproc_requests = 0 }
+
+let advance t dt =
+  assert (dt >= 0.);
+  t.clock <- t.clock +. dt
+
+let sync_to t time = if time > t.clock then t.clock <- time
+
+let interrupt_service t ~interrupt ~arrival ~cost =
+  (* The interrupt delays the node's own future work by (interrupt + cost);
+     the reply is timed from the request's arrival. When the node's virtual
+     clock has run ahead of [arrival] (a sequential-simulation artifact) the
+     total charged overhead is still conserved. *)
+  t.interrupts <- t.interrupts + 1;
+  t.clock <- t.clock +. interrupt +. cost;
+  arrival +. interrupt +. cost
+
+let coproc_service t ~dispatch ~arrival ~cost =
+  t.coproc_requests <- t.coproc_requests + 1;
+  let start = Float.max arrival t.coproc_busy in
+  let finish = start +. dispatch +. cost in
+  t.coproc_busy <- finish;
+  finish

@@ -1,0 +1,1 @@
+lib/mem/diff.ml: Array Format Int64 List

@@ -1,0 +1,22 @@
+(** Byte-level accounting of protocol memory (diffs, write notices, twins,
+    timestamp tables), used to reproduce the paper's Table 6. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+
+(** [sub] releases bytes; the current figure never goes negative (released
+    structures were always previously added). *)
+val sub : t -> int -> unit
+
+val current : t -> int
+
+val peak : t -> int
+
+(** Restart peak tracking from the current level (e.g. at the start of a
+    measurement window, so initialization-phase spikes are excluded). *)
+val reset_peak : t -> unit
+
+val reset : t -> unit

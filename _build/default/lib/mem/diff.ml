@@ -1,0 +1,67 @@
+type t = { page : int; words : (int * float) array }
+
+let header_bytes = 16
+
+let entry_bytes = 12 (* 4-byte offset + 8-byte word *)
+
+let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let create ~page ~twin ~current =
+  if Array.length twin <> Array.length current then
+    invalid_arg "Diff.create: twin and current differ in length";
+  let changed = ref [] in
+  let count = ref 0 in
+  for i = Array.length current - 1 downto 0 do
+    if not (same_bits twin.(i) current.(i)) then begin
+      changed := (i, current.(i)) :: !changed;
+      incr count
+    end
+  done;
+  { page; words = Array.of_list !changed }
+
+let apply t data =
+  Array.iter (fun (offset, value) -> data.(offset) <- value) t.words
+
+let is_empty t = Array.length t.words = 0
+
+let word_count t = Array.length t.words
+
+let size_bytes t = header_bytes + (entry_bytes * Array.length t.words)
+
+let merge older newer =
+  if older.page <> newer.page then invalid_arg "Diff.merge: different pages";
+  (* Merge two sorted (by offset) entry arrays; the newer diff wins on
+     overlap. *)
+  let na = Array.length older.words and nb = Array.length newer.words in
+  let acc = ref [] in
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !i >= na then begin
+      acc := newer.words.(!j) :: !acc;
+      incr j
+    end
+    else if !j >= nb then begin
+      acc := older.words.(!i) :: !acc;
+      incr i
+    end
+    else begin
+      let oa, _ = older.words.(!i) and ob, _ = newer.words.(!j) in
+      if oa < ob then begin
+        acc := older.words.(!i) :: !acc;
+        incr i
+      end
+      else if ob < oa then begin
+        acc := newer.words.(!j) :: !acc;
+        incr j
+      end
+      else begin
+        acc := newer.words.(!j) :: !acc;
+        incr i;
+        incr j
+      end
+    end
+  done;
+  { page = older.page; words = Array.of_list (List.rev !acc) }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>diff(page %d: %d words)@]" t.page (Array.length t.words)

@@ -1,0 +1,31 @@
+(** Word-granularity diffs.
+
+    A diff records the words of a page that changed relative to its twin, as
+    (offset, new value) pairs in increasing offset order. Applying a diff
+    overwrites exactly those words, which is what lets multiple concurrent
+    writers of disjoint words on the same page merge correctly. *)
+
+type t = private { page : int; words : (int * float) array }
+
+(** [create ~page ~twin ~current] computes the diff between [twin] (the clean
+    copy) and [current] (the dirty copy). Float comparison is bit-wise so
+    that a write of the same value is (correctly) not treated as a change,
+    matching memcmp-based diffing. Arrays must have equal length. *)
+val create : page:int -> twin:float array -> current:float array -> t
+
+(** [apply t data] writes the diff's words into [data]. *)
+val apply : t -> float array -> unit
+
+val is_empty : t -> bool
+
+val word_count : t -> int
+
+(** On-the-wire / in-memory size: one word of header per entry pair plus a
+    small fixed header, matching the paper's run-length encoded diffs. *)
+val size_bytes : t -> int
+
+(** [merge older newer] produces a diff equivalent to applying [older] then
+    [newer]. Both must be diffs of the same page. *)
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

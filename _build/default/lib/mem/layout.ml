@@ -1,0 +1,23 @@
+type t = { page_words : int; shift : int; mask : int }
+
+let word_bytes = 8
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let create ~page_words =
+  if not (is_power_of_two page_words) then
+    invalid_arg "Layout.create: page_words must be a positive power of two";
+  let rec log2 n acc = if n = 1 then acc else log2 (n lsr 1) (acc + 1) in
+  { page_words; shift = log2 page_words 0; mask = page_words - 1 }
+
+let page_words t = t.page_words
+
+let page_bytes t = t.page_words * word_bytes
+
+let page_of_addr t addr = addr lsr t.shift
+
+let offset_of_addr t addr = addr land t.mask
+
+let base_of_page t page = page lsl t.shift
+
+let pages_for t words = (words + t.page_words - 1) / t.page_words

@@ -1,0 +1,80 @@
+type protection = No_access | Read_only | Read_write
+
+type entry = {
+  page : int;
+  mutable data : float array option;
+  mutable prot : protection;
+  mutable twin : float array option;
+  mutable dirty : bool;
+  mutable mirror : float array option;
+  mutable mirror_pending : int;
+}
+
+type t = { layout : Layout.t; mutable entries : entry option array; mutable npages : int }
+
+let create layout = { layout; entries = [||]; npages = 0 }
+
+let layout t = t.layout
+
+let npages t = t.npages
+
+let grow t page =
+  let capacity = Array.length t.entries in
+  if page >= capacity then begin
+    let capacity' = max 64 (max (2 * capacity) (page + 1)) in
+    let entries' = Array.make capacity' None in
+    Array.blit t.entries 0 entries' 0 capacity;
+    t.entries <- entries'
+  end;
+  if page >= t.npages then t.npages <- page + 1
+
+let ensure t page =
+  grow t page;
+  match t.entries.(page) with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          page;
+          data = None;
+          prot = No_access;
+          twin = None;
+          dirty = false;
+          mirror = None;
+          mirror_pending = 0;
+        }
+      in
+      t.entries.(page) <- Some e;
+      e
+
+let entry t page =
+  if page < 0 || page >= t.npages then
+    invalid_arg (Printf.sprintf "Page_table.entry: page %d out of range" page)
+  else
+    match t.entries.(page) with
+    | Some e -> e
+    | None -> invalid_arg (Printf.sprintf "Page_table.entry: page %d never touched" page)
+
+let data_exn e =
+  match e.data with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Page_table.data_exn: page %d not cached" e.page)
+
+let attach_copy t e =
+  let data = Array.make (Layout.page_words t.layout) 0. in
+  e.data <- Some data;
+  data
+
+let make_twin e = e.twin <- Some (Array.copy (data_exn e))
+
+let drop_twin e = e.twin <- None
+
+let iter t f =
+  for page = 0 to t.npages - 1 do
+    match t.entries.(page) with Some e -> f e | None -> ()
+  done
+
+let cached_pages t =
+  let acc = ref [] in
+  iter t (fun e -> if e.data <> None then acc := e :: !acc);
+  List.rev !acc

@@ -1,0 +1,55 @@
+(** Per-node simulated page table.
+
+    Every node has its own table. An entry tracks the node's local copy of
+    the page (if any), its software protection state, the twin used for diff
+    creation, and whether the page was written during the current interval. *)
+
+type protection = No_access | Read_only | Read_write
+
+type entry = {
+  page : int;
+  mutable data : float array option;  (** Local copy; [None] = not cached. *)
+  mutable prot : protection;
+  mutable twin : float array option;
+  mutable dirty : bool;  (** Written during the current interval. *)
+  mutable mirror : float array option;
+      (** Write-through target: stores to this page are replicated into this
+          array as they happen (the automatic-update hardware of AURC). *)
+  mutable mirror_pending : int;
+      (** Words written through since the last flush accounting. *)
+}
+
+type t
+
+val create : Layout.t -> t
+
+val layout : t -> Layout.t
+
+(** Highest allocated page id + 1. *)
+val npages : t -> int
+
+(** [ensure t page] returns the entry for [page], creating an uncached,
+    inaccessible one if needed. *)
+val ensure : t -> int -> entry
+
+(** [entry t page] like {!ensure} but raises [Invalid_argument] if the page
+    was never touched on this node. *)
+val entry : t -> int -> entry
+
+(** All entries with a local copy. *)
+val cached_pages : t -> entry list
+
+(** [data_exn e] returns the local copy of [e].
+    @raise Invalid_argument if the page is not cached. *)
+val data_exn : entry -> float array
+
+(** Allocate and attach a zero-filled local copy. *)
+val attach_copy : t -> entry -> float array
+
+(** Make a twin (clean copy) of the current data. *)
+val make_twin : entry -> unit
+
+(** Drop the twin. *)
+val drop_twin : entry -> unit
+
+val iter : t -> (entry -> unit) -> unit

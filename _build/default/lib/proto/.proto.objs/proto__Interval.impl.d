@@ -1,0 +1,1 @@
+lib/proto/interval.ml: Format List Vclock

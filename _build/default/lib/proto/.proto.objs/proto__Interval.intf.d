@@ -1,0 +1,1 @@
+lib/proto/interval.mli: Format Vclock

@@ -1,0 +1,1 @@
+lib/proto/vclock.mli: Format

@@ -1,0 +1,39 @@
+type t = {
+  queue : (unit -> unit) Heap.t;
+  mutable now : float;
+  mutable executed : int;
+}
+
+(* Tolerance for float rounding when protocol code computes "now + cost" and
+   the addition rounds just below the current time. *)
+let epsilon = 1e-9
+
+let create () = { queue = Heap.create (); now = 0.; executed = 0 }
+
+let now t = t.now
+
+let schedule t ~at f =
+  if at < t.now -. epsilon then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: at=%.9f is before now=%.9f" at t.now);
+  Heap.push t.queue ~key:(Float.max at t.now) f
+
+let step t =
+  if Heap.is_empty t.queue then false
+  else begin
+    let time, event = Heap.pop_min t.queue in
+    t.now <- time;
+    t.executed <- t.executed + 1;
+    event ();
+    true
+  end
+
+let run t =
+  while step t do
+    ()
+  done;
+  t.now
+
+let pending t = Heap.length t.queue
+
+let executed t = t.executed

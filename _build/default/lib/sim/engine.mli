@@ -1,0 +1,32 @@
+(** Sequential discrete-event simulation engine.
+
+    Events are thunks scheduled at absolute simulated times (microseconds in
+    this project, though the engine itself is unit-agnostic). Events with
+    equal timestamps fire in scheduling order, which makes runs fully
+    deterministic. *)
+
+type t
+
+val create : unit -> t
+
+(** Current simulated time: the timestamp of the event being executed, or the
+    last executed event when idle. Starts at [0.]. *)
+val now : t -> float
+
+(** [schedule t ~at f] enqueues [f] to run at absolute time [at]. Scheduling
+    in the past (before [now t]) is a programming error and raises
+    [Invalid_argument]; a small tolerance absorbs float rounding. *)
+val schedule : t -> at:float -> (unit -> unit) -> unit
+
+(** [run t] executes events in timestamp order until the queue drains.
+    Returns the final simulated time. *)
+val run : t -> float
+
+(** [step t] executes the single earliest event. Returns [false] when the
+    queue is empty. *)
+val step : t -> bool
+
+val pending : t -> int
+
+(** Number of events executed so far. *)
+val executed : t -> int

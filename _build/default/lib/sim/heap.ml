@@ -1,0 +1,75 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h entry =
+  let capacity = Array.length h.data in
+  if h.size = capacity then begin
+    let capacity' = max 16 (2 * capacity) in
+    let data' = Array.make capacity' entry in
+    Array.blit h.data 0 data' 0 h.size;
+    h.data <- data'
+  end
+
+let rec sift_up data i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less data.(i) data.(parent) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(parent);
+      data.(parent) <- tmp;
+      sift_up data parent
+    end
+  end
+
+let rec sift_down data size i =
+  let left = (2 * i) + 1 in
+  if left < size then begin
+    let right = left + 1 in
+    let smallest = if right < size && less data.(right) data.(left) then right else left in
+    if less data.(smallest) data.(i) then begin
+      let tmp = data.(i) in
+      data.(i) <- data.(smallest);
+      data.(smallest) <- tmp;
+      sift_down data size smallest
+    end
+  end
+
+let push h ~key value =
+  let entry = { key; seq = h.next_seq; value } in
+  h.next_seq <- h.next_seq + 1;
+  grow h entry;
+  h.data.(h.size) <- entry;
+  h.size <- h.size + 1;
+  sift_up h.data (h.size - 1)
+
+let pop_min h =
+  if h.size = 0 then raise Not_found;
+  let min = h.data.(0) in
+  h.size <- h.size - 1;
+  if h.size > 0 then begin
+    h.data.(0) <- h.data.(h.size);
+    sift_down h.data h.size 0
+  end;
+  (min.key, min.value)
+
+let peek_min h =
+  if h.size = 0 then raise Not_found;
+  let min = h.data.(0) in
+  (min.key, min.value)
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

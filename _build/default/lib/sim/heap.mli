@@ -1,0 +1,27 @@
+(** Imperative binary min-heap keyed by [float * int].
+
+    The integer component is a tie-breaker so that two entries with equal
+    float keys pop in insertion order, which keeps discrete-event simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~key v] inserts [v] with priority [key]. Entries with equal keys
+    pop in FIFO order. *)
+val push : 'a t -> key:float -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum entry as [(key, v)].
+    @raise Not_found if the heap is empty. *)
+val pop_min : 'a t -> float * 'a
+
+(** [peek_min h] returns the minimum entry without removing it.
+    @raise Not_found if the heap is empty. *)
+val peek_min : 'a t -> float * 'a
+
+val clear : 'a t -> unit

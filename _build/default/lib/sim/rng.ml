@@ -1,0 +1,34 @@
+(* splitmix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators", OOPSLA 2014. Chosen because it is tiny, fast, splittable and
+   has well-understood statistical quality. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let next_seed t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t = mix64 (next_seed t)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  assert (bound > 0);
+  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  bits mod bound
+
+let float t bound =
+  let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  (* 2^53 possible values in [0, 1). *)
+  bound *. (bits /. 9007199254740992.0)

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 random number generator.
+
+    The simulator must be reproducible across runs and independent of the
+    global [Random] state, so every stochastic component draws from its own
+    [Rng.t] seeded from the experiment configuration. *)
+
+type t
+
+val create : seed:int -> t
+
+(** [split t] derives an independent generator, leaving [t] advanced. *)
+val split : t -> t
+
+(** [int t bound] draws uniformly from [0 .. bound-1]. [bound] must be
+    positive. *)
+val int : t -> int -> int
+
+(** [float t bound] draws uniformly from [0, bound). *)
+val float : t -> float -> float
+
+(** [bits64 t] draws 64 uniformly random bits. *)
+val bits64 : t -> int64

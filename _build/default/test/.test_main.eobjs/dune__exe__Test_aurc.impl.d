@@ -1,0 +1,1 @@
+test/test_aurc.ml: Alcotest Apps Array List Printexc QCheck QCheck_alcotest Svm Test_random

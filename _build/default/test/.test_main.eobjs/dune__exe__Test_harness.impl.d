@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Apps Buffer Format Harness List String Svm

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Apps Array List Mem Printexc String Svm

@@ -1,0 +1,1 @@
+test/test_migration.ml: Alcotest Apps Array List Printexc Printf Svm Test_aurc

@@ -1,0 +1,1 @@
+test/test_overlap.ml: Alcotest Apps Array Float List Printf Svm

@@ -1,0 +1,1 @@
+test/test_proto.ml: Alcotest Array List Proto QCheck QCheck_alcotest Svm

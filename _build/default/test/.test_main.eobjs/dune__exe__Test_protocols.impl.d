@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Apps Format List Printexc Svm

@@ -1,0 +1,1 @@
+test/test_random.ml: Array List Printf QCheck QCheck_alcotest Svm

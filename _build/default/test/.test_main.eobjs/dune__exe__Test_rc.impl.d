@@ -1,0 +1,1 @@
+test/test_rc.ml: Alcotest Apps Array List Printexc QCheck QCheck_alcotest Svm Test_aurc Test_random

@@ -1,0 +1,1 @@
+test/test_regressions.ml: Alcotest Apps Array List Svm

@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Apps Array Float List String Svm

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array List Printf Svm

@@ -1,0 +1,1 @@
+test/test_system.ml: Alcotest Array List Machine QCheck QCheck_alcotest Sim Svm

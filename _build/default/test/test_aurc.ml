@@ -1,0 +1,121 @@
+(* AURC (paper 2.2): automatic-update write-through to the home. Checks
+   correctness on the protocol matrices and the properties the paper states:
+   no twins or diffs at all, zero protocol memory for update tracking,
+   higher update traffic than HLRC (per-write propagation), fewer software
+   operations. *)
+
+let check = Alcotest.check
+
+let run ?(nprocs = 4) app = Svm.Runtime.run (Svm.Config.make ~nprocs Svm.Config.Aurc) app
+
+(* the false-sharing accumulation matrix from the protocol suite *)
+let accumulate_app ctx =
+  let n = 96 in
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"f" n);
+  Svm.Api.barrier ctx;
+  let f = Svm.Api.root ctx "f" in
+  let lo, hi = Apps.App_util.chunk ~n ~nparts:np me in
+  for m = lo to hi - 1 do
+    Svm.Api.write ctx (f + m) 0.
+  done;
+  Svm.Api.barrier ctx;
+  for q = 0 to np - 1 do
+    let target = (me + q) mod np in
+    let qlo, qhi = Apps.App_util.chunk ~n ~nparts:np target in
+    Svm.Api.lock ctx target;
+    for m = qlo to qhi - 1 do
+      Svm.Api.write ctx (f + m) (Svm.Api.read ctx (f + m) +. float_of_int ((me + 1) * (m + 1)))
+    done;
+    Svm.Api.unlock ctx target
+  done;
+  Svm.Api.barrier ctx;
+  let sum_p = np * (np + 1) / 2 in
+  for m = 0 to n - 1 do
+    let want = float_of_int (sum_p * (m + 1)) in
+    let got = Svm.Api.read ctx (f + m) in
+    if got <> want then Alcotest.failf "pid %d: f[%d] = %g, want %g" me m got want
+  done;
+  Svm.Api.barrier ctx
+
+let test_aurc_accumulation () =
+  List.iter (fun nprocs -> ignore (run ~nprocs accumulate_app)) [ 1; 2; 3; 4; 8 ]
+
+let test_aurc_apps_verify () =
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun nprocs ->
+          try ignore (run ~nprocs (app.Apps.Registry.body ~verify:true))
+          with e ->
+            Alcotest.failf "%s under AURC at P=%d: %s" app.Apps.Registry.name nprocs
+              (Printexc.to_string e))
+        [ 1; 3; 8 ])
+    (Apps.Registry.all Apps.Registry.Test)
+
+let test_aurc_no_diffs_ever () =
+  let r = run ~nprocs:8 accumulate_app in
+  Array.iter
+    (fun n ->
+      check Alcotest.int "no diffs created" 0 n.Svm.Runtime.nr_counters.Svm.Stats.diffs_created;
+      check Alcotest.int "no diffs applied" 0 n.Svm.Runtime.nr_counters.Svm.Stats.diffs_applied)
+    r.Svm.Runtime.r_nodes
+
+let test_aurc_vs_hlrc_tradeoff () =
+  (* The paper's 2.2/2.3 comparison: AURC pays per-write traffic, HLRC pays
+     diffing overhead. On a write-heavy workload AURC must send at least as
+     many update bytes and spend (much) less protocol time. *)
+  let app ctx =
+    let me = Svm.Api.pid ctx in
+    if me = 0 then ignore (Svm.Api.malloc ctx ~name:"a" ~home:(fun _ -> 1) 1024);
+    Svm.Api.barrier ctx;
+    Svm.Api.start_timing ctx;
+    let a = Svm.Api.root ctx "a" in
+    if me = 2 then
+      for round = 1 to 5 do
+        for i = 0 to 1023 do
+          Svm.Api.write_int ctx (a + i) ((round * 10_000) + i)
+        done;
+        Svm.Api.barrier ctx
+      done
+    else
+      for _ = 1 to 5 do
+        Svm.Api.barrier ctx
+      done;
+    if me = 3 then ignore (Svm.Api.read_int ctx a);
+    Svm.Api.barrier ctx
+  in
+  let aurc = Svm.Runtime.run (Svm.Config.make ~nprocs:4 Svm.Config.Aurc) app in
+  let hlrc = Svm.Runtime.run (Svm.Config.make ~nprocs:4 Svm.Config.Hlrc) app in
+  check Alcotest.bool "AURC moves more update bytes" true
+    (Svm.Runtime.total_update_bytes aurc >= Svm.Runtime.total_update_bytes hlrc);
+  let proto r =
+    Array.fold_left (fun acc n -> acc +. n.Svm.Runtime.nr_breakdown.Svm.Stats.protocol) 0.
+      r.Svm.Runtime.r_nodes
+  in
+  check Alcotest.bool "AURC spends less software protocol time" true (proto aurc < proto hlrc)
+
+let test_aurc_zero_update_memory () =
+  (* No twins and no diffs: protocol memory is only interval records and
+     directory state — far below one page per written page. *)
+  let r = run ~nprocs:4 accumulate_app in
+  let hlrc = Svm.Runtime.run (Svm.Config.make ~nprocs:4 Svm.Config.Hlrc) accumulate_app in
+  check Alcotest.bool "AURC peak below HLRC (no twins)" true
+    (Svm.Runtime.max_mem_peak r <= Svm.Runtime.max_mem_peak hlrc)
+
+let test_aurc_random_programs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random DRF programs correct under AURC" ~count:40
+       (QCheck.make Test_random.gen_program) (fun program ->
+         ignore (Test_random.run_program Svm.Config.Aurc program);
+         true))
+
+let suite =
+  [
+    ("accumulation matrix", `Quick, test_aurc_accumulation);
+    ("all applications verify", `Slow, test_aurc_apps_verify);
+    ("no diffs ever", `Quick, test_aurc_no_diffs_ever);
+    ("AURC/HLRC trade-off (paper 2.2)", `Quick, test_aurc_vs_hlrc_tradeoff);
+    ("no update-tracking memory", `Quick, test_aurc_zero_update_memory);
+    test_aurc_random_programs;
+  ]

@@ -1,0 +1,87 @@
+(* Harness tests: the run matrix caches and the table generators produce
+   well-formed output with the paper's qualitative relationships. *)
+
+let check = Alcotest.check
+
+let test_matrix_caches () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let app = Apps.Registry.sor Apps.Registry.Test in
+  let calls = ref 0 in
+  Harness.Matrix.on_progress m (fun _ -> incr calls);
+  let r1 = Harness.Matrix.get m app Svm.Config.Hlrc 4 in
+  let r2 = Harness.Matrix.get m app Svm.Config.Hlrc 4 in
+  check Alcotest.bool "same report object" true (r1 == r2);
+  check Alcotest.int "one simulation" 1 !calls
+
+let test_speedup_definition () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let app = Apps.Registry.sor Apps.Registry.Test in
+  let s = Harness.Matrix.speedup m app Svm.Config.Hlrc 4 in
+  check Alcotest.bool "speedup positive" true (s > 0.);
+  let seq = Harness.Matrix.seq_time m app in
+  let elapsed = (Harness.Matrix.get m app Svm.Config.Hlrc 4).Svm.Runtime.r_elapsed in
+  check (Alcotest.float 1e-9) "speedup = seq/elapsed" (seq /. elapsed) s
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_tables_render () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let node_counts = [ 2; 4 ] in
+  let t1 = render (fun ppf -> Harness.Tables.table1 ppf m) in
+  check Alcotest.bool "table1 lists all apps" true
+    (List.for_all (fun n -> contains t1 n) [ "LU"; "SOR"; "Water-Nsquared"; "Raytrace" ]);
+  let t2 = render (fun ppf -> Harness.Tables.table2 ppf m ~node_counts) in
+  check Alcotest.bool "table2 lists protocols" true
+    (List.for_all (fun p -> contains t2 p) [ "LRC"; "OLRC"; "HLRC"; "OHLRC" ]);
+  let t3 = render (fun ppf -> Harness.Tables.table3 ppf) in
+  check Alcotest.bool "table3 shows the 1172us miss" true (contains t3 "1172");
+  let t4 = render (fun ppf -> Harness.Tables.table4 ppf m ~node_counts) in
+  check Alcotest.bool "table4 rendered" true (contains t4 "rdmiss");
+  let t5 = render (fun ppf -> Harness.Tables.table5 ppf m ~node_counts) in
+  check Alcotest.bool "table5 rendered" true (contains t5 "upd MB");
+  let t6 = render (fun ppf -> Harness.Tables.table6 ppf m ~node_counts) in
+  check Alcotest.bool "table6 rendered" true (contains t6 "app KB");
+  let f3 = render (fun ppf -> Harness.Tables.figure3 ppf m ~node_counts) in
+  check Alcotest.bool "figure3 rendered" true (contains f3 "comp");
+  let f4 = render (fun ppf -> Harness.Tables.figure4 ppf m ~node_counts ~epoch:2) in
+  check Alcotest.bool "figure4 rendered" true (contains f4 "cpu");
+  let sz = render (fun ppf -> Harness.Tables.sor_zero ppf m ~node_counts) in
+  check Alcotest.bool "sor-zero rendered" true (contains sz "LRC/HLRC")
+
+(* Qualitative headline of the paper at a size our Test scale can support:
+   HLRC must never lose badly to LRC, and its protocol memory must stay far
+   below LRC's on a diff-heavy workload. *)
+let test_memory_headline () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let app = Apps.Registry.water_nsq Apps.Registry.Test in
+  let lrc = Harness.Matrix.get m app Svm.Config.Lrc 8 in
+  let hlrc = Harness.Matrix.get m app Svm.Config.Hlrc 8 in
+  check Alcotest.bool "HLRC uses less protocol memory" true
+    (Svm.Runtime.max_mem_peak hlrc < Svm.Runtime.max_mem_peak lrc)
+
+let test_protocol_traffic_headline () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let app = Apps.Registry.water_nsq Apps.Registry.Test in
+  let lrc = Harness.Matrix.get m app Svm.Config.Lrc 8 in
+  let hlrc = Harness.Matrix.get m app Svm.Config.Hlrc 8 in
+  check Alcotest.bool "home-based protocol data is cheaper" true
+    (Svm.Runtime.total_protocol_bytes hlrc < Svm.Runtime.total_protocol_bytes lrc)
+
+let suite =
+  [
+    ("matrix caches runs", `Quick, test_matrix_caches);
+    ("speedup definition", `Quick, test_speedup_definition);
+    ("all tables render", `Slow, test_tables_render);
+    ("memory headline", `Quick, test_memory_headline);
+    ("protocol traffic headline", `Quick, test_protocol_traffic_headline);
+  ]

@@ -1,0 +1,205 @@
+(* Unit and property tests for the memory substrate: layout, diffs, page
+   tables and accounting. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Layout *)
+
+let test_layout_basics () =
+  let l = Mem.Layout.create ~page_words:1024 in
+  check Alcotest.int "page words" 1024 (Mem.Layout.page_words l);
+  check Alcotest.int "page bytes" 8192 (Mem.Layout.page_bytes l);
+  check Alcotest.int "page of 0" 0 (Mem.Layout.page_of_addr l 0);
+  check Alcotest.int "page of 1023" 0 (Mem.Layout.page_of_addr l 1023);
+  check Alcotest.int "page of 1024" 1 (Mem.Layout.page_of_addr l 1024);
+  check Alcotest.int "offset" 5 (Mem.Layout.offset_of_addr l 1029);
+  check Alcotest.int "base of page 3" 3072 (Mem.Layout.base_of_page l 3)
+
+let test_layout_pages_for () =
+  let l = Mem.Layout.create ~page_words:256 in
+  check Alcotest.int "exact fit" 1 (Mem.Layout.pages_for l 256);
+  check Alcotest.int "one more" 2 (Mem.Layout.pages_for l 257);
+  check Alcotest.int "zero" 0 (Mem.Layout.pages_for l 0)
+
+let test_layout_rejects_non_power () =
+  Alcotest.check_raises "non power of two" (Invalid_argument
+    "Layout.create: page_words must be a positive power of two")
+    (fun () -> ignore (Mem.Layout.create ~page_words:1000))
+
+let prop_layout_roundtrip =
+  QCheck.Test.make ~name:"layout addr = base + offset" ~count:300
+    QCheck.(pair (int_range 0 7) (int_range 0 1_000_000))
+    (fun (shift, addr) ->
+      let page_words = 64 lsl shift in
+      let l = Mem.Layout.create ~page_words in
+      let page = Mem.Layout.page_of_addr l addr in
+      let off = Mem.Layout.offset_of_addr l addr in
+      Mem.Layout.base_of_page l page + off = addr && off >= 0 && off < page_words)
+
+(* ------------------------------------------------------------------ *)
+(* Diff *)
+
+let mk_page f = Array.init 64 f
+
+let test_diff_roundtrip () =
+  let twin = mk_page float_of_int in
+  let current = Array.copy twin in
+  current.(3) <- 99.;
+  current.(17) <- -1.;
+  let d = Mem.Diff.create ~page:0 ~twin ~current in
+  check Alcotest.int "two words changed" 2 (Mem.Diff.word_count d);
+  let target = Array.copy twin in
+  Mem.Diff.apply d target;
+  check Alcotest.bool "apply reproduces current" true (target = current)
+
+let test_diff_empty () =
+  let twin = mk_page float_of_int in
+  let d = Mem.Diff.create ~page:0 ~twin ~current:(Array.copy twin) in
+  check Alcotest.bool "empty" true (Mem.Diff.is_empty d);
+  check Alcotest.int "size is header only" 16 (Mem.Diff.size_bytes d)
+
+let test_diff_bitwise_semantics () =
+  (* Writing the same bit pattern is not a change; 0.0 vs -0.0 is. *)
+  let twin = Array.make 4 0.0 in
+  let current = Array.copy twin in
+  current.(0) <- 0.0;
+  current.(1) <- -0.0;
+  let d = Mem.Diff.create ~page:0 ~twin ~current in
+  check Alcotest.int "only -0.0 differs" 1 (Mem.Diff.word_count d)
+
+let test_diff_length_mismatch () =
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Diff.create: twin and current differ in length") (fun () ->
+      ignore (Mem.Diff.create ~page:0 ~twin:(Array.make 3 0.) ~current:(Array.make 4 0.)))
+
+let test_diff_merge_pages_mismatch () =
+  let twin = mk_page float_of_int in
+  let d0 = Mem.Diff.create ~page:0 ~twin ~current:twin in
+  let d1 = Mem.Diff.create ~page:1 ~twin ~current:twin in
+  Alcotest.check_raises "different pages" (Invalid_argument "Diff.merge: different pages")
+    (fun () -> ignore (Mem.Diff.merge d0 d1))
+
+let diff_gen =
+  (* random sparse modification of a 64-word page *)
+  QCheck.Gen.(
+    list_size (int_bound 20) (pair (int_bound 63) (float_range (-100.) 100.)))
+
+let prop_diff_apply_equals_writes =
+  QCheck.Test.make ~name:"diff apply == replaying the writes" ~count:300
+    (QCheck.make diff_gen) (fun writes ->
+      let twin = mk_page float_of_int in
+      let current = Array.copy twin in
+      List.iter (fun (i, v) -> current.(i) <- v) writes;
+      let d = Mem.Diff.create ~page:0 ~twin ~current in
+      let target = Array.copy twin in
+      Mem.Diff.apply d target;
+      target = current)
+
+let prop_diff_merge_equivalent =
+  QCheck.Test.make ~name:"merge a b == apply a then b" ~count:300
+    (QCheck.make (QCheck.Gen.pair diff_gen diff_gen)) (fun (w1, w2) ->
+      let base = mk_page float_of_int in
+      let c1 = Array.copy base in
+      List.iter (fun (i, v) -> c1.(i) <- v) w1;
+      let d1 = Mem.Diff.create ~page:0 ~twin:base ~current:c1 in
+      let c2 = Array.copy c1 in
+      List.iter (fun (i, v) -> c2.(i) <- v) w2;
+      let d2 = Mem.Diff.create ~page:0 ~twin:c1 ~current:c2 in
+      let merged = Mem.Diff.merge d1 d2 in
+      let via_merge = Array.copy base in
+      Mem.Diff.apply merged via_merge;
+      let via_seq = Array.copy base in
+      Mem.Diff.apply d1 via_seq;
+      Mem.Diff.apply d2 via_seq;
+      via_merge = via_seq)
+
+let prop_diff_offsets_sorted =
+  QCheck.Test.make ~name:"diff offsets strictly increasing" ~count:300
+    (QCheck.make diff_gen) (fun writes ->
+      let twin = mk_page float_of_int in
+      let current = Array.copy twin in
+      List.iter (fun (i, v) -> current.(i) <- v) writes;
+      let d = Mem.Diff.create ~page:0 ~twin ~current in
+      let offsets = Array.to_list (Array.map fst d.Mem.Diff.words) in
+      List.sort_uniq compare offsets = offsets)
+
+(* ------------------------------------------------------------------ *)
+(* Page table *)
+
+let test_page_table_ensure () =
+  let l = Mem.Layout.create ~page_words:64 in
+  let pt = Mem.Page_table.create l in
+  let e = Mem.Page_table.ensure pt 5 in
+  check Alcotest.int "page id" 5 e.Mem.Page_table.page;
+  check Alcotest.bool "uncached" true (e.Mem.Page_table.data = None);
+  check Alcotest.bool "same entry" true (e == Mem.Page_table.ensure pt 5);
+  check Alcotest.int "npages" 6 (Mem.Page_table.npages pt)
+
+let test_page_table_entry_missing () =
+  let l = Mem.Layout.create ~page_words:64 in
+  let pt = Mem.Page_table.create l in
+  Alcotest.check_raises "never touched"
+    (Invalid_argument "Page_table.entry: page 0 out of range") (fun () ->
+      ignore (Mem.Page_table.entry pt 0))
+
+let test_page_table_twin () =
+  let l = Mem.Layout.create ~page_words:8 in
+  let pt = Mem.Page_table.create l in
+  let e = Mem.Page_table.ensure pt 0 in
+  let data = Mem.Page_table.attach_copy pt e in
+  data.(0) <- 7.;
+  Mem.Page_table.make_twin e;
+  data.(0) <- 8.;
+  (match e.Mem.Page_table.twin with
+  | Some t -> check (Alcotest.float 0.) "twin keeps old value" 7. t.(0)
+  | None -> Alcotest.fail "twin missing");
+  Mem.Page_table.drop_twin e;
+  check Alcotest.bool "twin dropped" true (e.Mem.Page_table.twin = None)
+
+let test_page_table_cached_pages () =
+  let l = Mem.Layout.create ~page_words:8 in
+  let pt = Mem.Page_table.create l in
+  ignore (Mem.Page_table.ensure pt 0);
+  let e1 = Mem.Page_table.ensure pt 1 in
+  ignore (Mem.Page_table.attach_copy pt e1);
+  let cached = Mem.Page_table.cached_pages pt in
+  check Alcotest.(list int) "only cached" [ 1 ]
+    (List.map (fun e -> e.Mem.Page_table.page) cached)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting *)
+
+let test_accounting () =
+  let a = Mem.Accounting.create () in
+  Mem.Accounting.add a 100;
+  Mem.Accounting.add a 50;
+  check Alcotest.int "current" 150 (Mem.Accounting.current a);
+  Mem.Accounting.sub a 120;
+  check Alcotest.int "after sub" 30 (Mem.Accounting.current a);
+  check Alcotest.int "peak" 150 (Mem.Accounting.peak a);
+  Mem.Accounting.sub a 1000;
+  check Alcotest.int "floor at zero" 0 (Mem.Accounting.current a);
+  Mem.Accounting.reset a;
+  check Alcotest.int "reset peak" 0 (Mem.Accounting.peak a)
+
+let suite =
+  [
+    ("layout basics", `Quick, test_layout_basics);
+    ("layout pages_for", `Quick, test_layout_pages_for);
+    ("layout rejects non-power", `Quick, test_layout_rejects_non_power);
+    QCheck_alcotest.to_alcotest prop_layout_roundtrip;
+    ("diff roundtrip", `Quick, test_diff_roundtrip);
+    ("diff empty", `Quick, test_diff_empty);
+    ("diff bitwise semantics", `Quick, test_diff_bitwise_semantics);
+    ("diff length mismatch", `Quick, test_diff_length_mismatch);
+    ("diff merge page mismatch", `Quick, test_diff_merge_pages_mismatch);
+    QCheck_alcotest.to_alcotest prop_diff_apply_equals_writes;
+    QCheck_alcotest.to_alcotest prop_diff_merge_equivalent;
+    QCheck_alcotest.to_alcotest prop_diff_offsets_sorted;
+    ("page table ensure", `Quick, test_page_table_ensure);
+    ("page table missing entry", `Quick, test_page_table_entry_missing);
+    ("page table twin", `Quick, test_page_table_twin);
+    ("page table cached pages", `Quick, test_page_table_cached_pages);
+    ("accounting", `Quick, test_accounting);
+  ]

@@ -1,0 +1,98 @@
+(* Adaptive home migration (extension): correctness under migration churn,
+   the migration actually firing, and the performance win on
+   badly-placed-home workloads. *)
+
+let check = Alcotest.check
+
+let total_migrations (r : Svm.Runtime.report) =
+  Array.fold_left (fun acc n -> acc + n.Svm.Runtime.nr_counters.Svm.Stats.home_migrations) 0
+    r.Svm.Runtime.r_nodes
+
+(* Every page is allocated with its home on node 0, then written repeatedly
+   by its (different) owner across barriers — the worst placement, which
+   migration must repair. *)
+let bad_home_app ~rounds ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  let words_per = 1024 in
+  if me = 0 then
+    ignore (Svm.Api.malloc ctx ~name:"a" ~home:(fun _ -> 0) (np * words_per));
+  Svm.Api.barrier ctx;
+  Svm.Api.start_timing ctx;
+  let a = Svm.Api.root ctx "a" in
+  for round = 1 to rounds do
+    for i = 0 to words_per - 1 do
+      Svm.Api.write_int ctx (a + (me * words_per) + i) ((round * 100_000) + i)
+    done;
+    Svm.Api.barrier ctx;
+    (* read the neighbour's page to keep coherence exercised *)
+    let peer = (me + 1) mod np in
+    for i = 0 to 63 do
+      check Alcotest.int "neighbour fresh" ((round * 100_000) + i)
+        (Svm.Api.read_int ctx (a + (peer * words_per) + i))
+    done;
+    Svm.Api.barrier ctx
+  done
+
+let test_migration_fires_and_stays_correct () =
+  List.iter
+    (fun protocol ->
+      let cfg = Svm.Config.make ~home_migration:true ~nprocs:4 protocol in
+      let r = Svm.Runtime.run cfg (bad_home_app ~rounds:4) in
+      check Alcotest.bool
+        (Svm.Config.protocol_name protocol ^ ": pages migrated")
+        true (total_migrations r > 0))
+    [ Svm.Config.Hlrc; Svm.Config.Ohlrc; Svm.Config.Aurc ]
+
+let test_migration_improves_bad_placement () =
+  let run home_migration =
+    let cfg = Svm.Config.make ~home_migration ~nprocs:8 Svm.Config.Hlrc in
+    (Svm.Runtime.run cfg (bad_home_app ~rounds:6)).Svm.Runtime.r_elapsed
+  in
+  let fixed = run false and migrating = run true in
+  check Alcotest.bool
+    (Printf.sprintf "migration helps (%.0f -> %.0f us)" fixed migrating)
+    true (migrating < fixed)
+
+let test_migration_off_by_default () =
+  let cfg = Svm.Config.make ~nprocs:4 Svm.Config.Hlrc in
+  let r = Svm.Runtime.run cfg (bad_home_app ~rounds:3) in
+  check Alcotest.int "no migrations unless enabled" 0 (total_migrations r)
+
+let test_migration_ignored_by_homeless () =
+  let cfg = Svm.Config.make ~home_migration:true ~nprocs:4 Svm.Config.Lrc in
+  let r = Svm.Runtime.run cfg (bad_home_app ~rounds:3) in
+  check Alcotest.int "homeless protocols have no homes to move" 0 (total_migrations r)
+
+let test_apps_verify_under_migration () =
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun protocol ->
+          let cfg = Svm.Config.make ~home_migration:true ~nprocs:8 protocol in
+          try ignore (Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true))
+          with e ->
+            Alcotest.failf "%s under %s with migration: %s" app.Apps.Registry.name
+              (Svm.Config.protocol_name protocol) (Printexc.to_string e))
+        [ Svm.Config.Hlrc; Svm.Config.Ohlrc; Svm.Config.Aurc ])
+    (Apps.Registry.all Apps.Registry.Test)
+
+(* The lock-chain matrix again, now with homes moving underneath it. *)
+let test_accumulation_under_migration () =
+  List.iter
+    (fun protocol ->
+      List.iter
+        (fun nprocs ->
+          let cfg = Svm.Config.make ~home_migration:true ~nprocs protocol in
+          ignore (Svm.Runtime.run cfg Test_aurc.accumulate_app))
+        [ 2; 4; 8 ])
+    [ Svm.Config.Hlrc; Svm.Config.Ohlrc; Svm.Config.Aurc ]
+
+let suite =
+  [
+    ("migration fires and stays correct", `Quick, test_migration_fires_and_stays_correct);
+    ("migration repairs bad placement", `Quick, test_migration_improves_bad_placement);
+    ("off by default", `Quick, test_migration_off_by_default);
+    ("ignored by homeless protocols", `Quick, test_migration_ignored_by_homeless);
+    ("all applications verify under migration", `Slow, test_apps_verify_under_migration);
+    ("lock-chain matrix under migration", `Quick, test_accumulation_under_migration);
+  ]

@@ -1,0 +1,234 @@
+(* Protocol correctness matrices: every scenario runs under all four
+   protocols at several machine sizes and must produce the exact expected
+   memory contents. These are the tests that caught the fault-retry and
+   write-notice-ordering bugs during development. *)
+
+let all_protocols = Svm.Config.all_protocols
+
+let sizes = [ 1; 2; 3; 4; 8 ]
+
+let matrix name app expected_failure_free =
+  ( name,
+    `Quick,
+    fun () ->
+      List.iter
+        (fun protocol ->
+          List.iter
+            (fun nprocs ->
+              try ignore (Svm.Runtime.run (Svm.Config.make ~nprocs protocol) app)
+              with e ->
+                Alcotest.failf "%s under %s at P=%d: %s" name
+                  (Svm.Config.protocol_name protocol) nprocs (Printexc.to_string e))
+            sizes)
+        all_protocols;
+      ignore expected_failure_free )
+
+let expect cond fmt =
+  Format.kasprintf (fun msg -> if not cond then Alcotest.fail msg) fmt
+
+(* --- shared counter under one lock ---------------------------------- *)
+
+let counter_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"c" 1);
+  Svm.Api.barrier ctx;
+  let c = Svm.Api.root ctx "c" in
+  for _ = 1 to 25 do
+    Svm.Api.lock ctx 0;
+    Svm.Api.write_int ctx c (Svm.Api.read_int ctx c + 1);
+    Svm.Api.unlock ctx 0
+  done;
+  Svm.Api.barrier ctx;
+  let v = Svm.Api.read_int ctx c in
+  expect (v = 25 * np) "pid %d: counter %d, want %d" me v (25 * np)
+
+(* --- lock-ordered accumulation with false sharing ------------------- *)
+
+let accumulate_app ctx =
+  let n = 96 in
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"f" n);
+  Svm.Api.barrier ctx;
+  let f = Svm.Api.root ctx "f" in
+  let lo, hi = Apps.App_util.chunk ~n ~nparts:np me in
+  for m = lo to hi - 1 do
+    Svm.Api.write ctx (f + m) 0.
+  done;
+  Svm.Api.barrier ctx;
+  for q = 0 to np - 1 do
+    let target = (me + q) mod np in
+    let qlo, qhi = Apps.App_util.chunk ~n ~nparts:np target in
+    Svm.Api.lock ctx target;
+    for m = qlo to qhi - 1 do
+      Svm.Api.write ctx (f + m)
+        (Svm.Api.read ctx (f + m) +. float_of_int ((me + 1) * (m + 1)))
+    done;
+    Svm.Api.unlock ctx target
+  done;
+  Svm.Api.barrier ctx;
+  let sum_p = np * (np + 1) / 2 in
+  for m = 0 to n - 1 do
+    let want = float_of_int (sum_p * (m + 1)) in
+    let got = Svm.Api.read ctx (f + m) in
+    expect (got = want) "pid %d: f[%d] = %g, want %g" me m got want
+  done;
+  Svm.Api.barrier ctx
+
+(* --- migratory token: a value hops between nodes through one lock ---- *)
+
+let migratory_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"m" 16);
+  Svm.Api.barrier ctx;
+  let m = Svm.Api.root ctx "m" in
+  for round = 1 to 8 do
+    Svm.Api.lock ctx 0;
+    (* whole record is read, modified and written: migratory pattern *)
+    let acc = ref 0 in
+    for i = 0 to 15 do
+      acc := !acc + Svm.Api.read_int ctx (m + i)
+    done;
+    for i = 0 to 15 do
+      Svm.Api.write_int ctx (m + i) (!acc + i)
+    done;
+    Svm.Api.unlock ctx 0;
+    ignore round
+  done;
+  Svm.Api.barrier ctx;
+  (* The final value is some deterministic function of the access order;
+     all nodes must agree on it exactly. *)
+  let v0 = Svm.Api.read_int ctx m in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"check" np);
+  Svm.Api.barrier ctx;
+  let chk = Svm.Api.root ctx "check" in
+  Svm.Api.write_int ctx (chk + me) v0;
+  Svm.Api.barrier ctx;
+  for p = 0 to np - 1 do
+    expect
+      (Svm.Api.read_int ctx (chk + p) = v0)
+      "pid %d: node %d disagrees on the migratory record" me p
+  done
+
+(* --- producer/consumer chain through locks --------------------------- *)
+
+let chain_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"slot" 1);
+  Svm.Api.barrier ctx;
+  let slot = Svm.Api.root ctx "slot" in
+  (* Each node repeatedly increments when the value mod np matches its id:
+     spin through the lock (a crude but race-free handoff). *)
+  let rounds = 3 in
+  let target = rounds * np in
+  let rec spin () =
+    Svm.Api.lock ctx 0;
+    let v = Svm.Api.read_int ctx slot in
+    if v < target && v mod np = me then Svm.Api.write_int ctx slot (v + 1);
+    Svm.Api.unlock ctx 0;
+    if v < target then begin
+      Svm.Api.compute ctx 50.;
+      spin ()
+    end
+  in
+  spin ();
+  Svm.Api.barrier ctx;
+  let v = Svm.Api.read_int ctx slot in
+  expect (v = target) "pid %d: chain ended at %d, want %d" me v target
+
+(* --- barrier-only neighbour exchange -------------------------------- *)
+
+let neighbour_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  let words_per = 300 in
+  (* deliberately not page aligned *)
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"ring" (np * words_per));
+  Svm.Api.barrier ctx;
+  let ring = Svm.Api.root ctx "ring" in
+  let mine = ring + (me * words_per) in
+  for round = 1 to 4 do
+    for i = 0 to words_per - 1 do
+      Svm.Api.write_int ctx (mine + i) ((100000 * round) + (1000 * me) + i)
+    done;
+    Svm.Api.barrier ctx;
+    (* read the right neighbour's fresh values *)
+    let neighbour = ring + ((me + 1) mod np * words_per) in
+    for i = 0 to words_per - 1 do
+      let want = (100000 * round) + (1000 * ((me + 1) mod np)) + i in
+      let got = Svm.Api.read_int ctx (neighbour + i) in
+      expect (got = want) "pid %d round %d: neighbour[%d] = %d, want %d" me round i got want
+    done;
+    Svm.Api.barrier ctx
+  done
+
+(* --- write-then-invalidate-then-read (uncommitted-writes paths) ------ *)
+
+let dirty_invalidate_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"page" 128);
+  Svm.Api.barrier ctx;
+  let page = Svm.Api.root ctx "page" in
+  (* Every node writes its own word of the same page while repeatedly
+     acquiring a lock (whose grants invalidate the page it is still
+     writing), then reads everything back after a barrier. *)
+  for round = 1 to 5 do
+    Svm.Api.write_int ctx (page + me) ((round * 100) + me);
+    Svm.Api.lock ctx 1;
+    Svm.Api.write_int ctx (page + np + me) ((round * 1000) + me);
+    Svm.Api.unlock ctx 1;
+    Svm.Api.compute ctx 100.
+  done;
+  Svm.Api.barrier ctx;
+  for p = 0 to np - 1 do
+    expect
+      (Svm.Api.read_int ctx (page + p) = 500 + p)
+      "pid %d: private word of %d lost" me p;
+    expect
+      (Svm.Api.read_int ctx (page + np + p) = 5000 + p)
+      "pid %d: locked word of %d lost" me p
+  done;
+  Svm.Api.barrier ctx
+
+(* --- reader of never-written memory ---------------------------------- *)
+
+let cold_read_app ctx =
+  let me = Svm.Api.pid ctx in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"cold" 2048);
+  Svm.Api.barrier ctx;
+  let cold = Svm.Api.root ctx "cold" in
+  for i = 0 to 2047 do
+    expect (Svm.Api.read ctx (cold + i) = 0.) "pid %d: cold[%d] nonzero" me i
+  done;
+  Svm.Api.barrier ctx
+
+(* --- multiple independent locks --------------------------------------- *)
+
+let many_locks_app ctx =
+  let me = Svm.Api.pid ctx and np = Svm.Api.nprocs ctx in
+  let nlocks = 5 in
+  if me = 0 then ignore (Svm.Api.malloc ctx ~name:"cells" nlocks);
+  Svm.Api.barrier ctx;
+  let cells = Svm.Api.root ctx "cells" in
+  for round = 1 to 10 do
+    let l = (me + round) mod nlocks in
+    Svm.Api.lock ctx (100 + l);
+    Svm.Api.write_int ctx (cells + l) (Svm.Api.read_int ctx (cells + l) + 1);
+    Svm.Api.unlock ctx (100 + l)
+  done;
+  Svm.Api.barrier ctx;
+  let total = ref 0 in
+  for l = 0 to nlocks - 1 do
+    total := !total + Svm.Api.read_int ctx (cells + l)
+  done;
+  expect (!total = 10 * np) "pid %d: lock cells total %d, want %d" me !total (10 * np)
+
+let suite =
+  [
+    matrix "counter under a lock" counter_app ();
+    matrix "false-sharing accumulation" accumulate_app ();
+    matrix "migratory record" migratory_app ();
+    matrix "producer chain" chain_app ();
+    matrix "barrier neighbour exchange" neighbour_app ();
+    matrix "dirty page invalidated mid-interval" dirty_invalidate_app ();
+    matrix "cold reads are zero" cold_read_app ();
+    matrix "many independent locks" many_locks_app ();
+  ]

@@ -1,0 +1,107 @@
+(* Eager Release Consistency (paper 2, Munin-style): updates pushed to all
+   copy holders at release, the handoff gated on their acknowledgements. *)
+
+let check = Alcotest.check
+
+let run ?(nprocs = 4) app = Svm.Runtime.run (Svm.Config.make ~nprocs Svm.Config.Rc) app
+
+let test_rc_accumulation () =
+  List.iter (fun nprocs -> ignore (run ~nprocs Test_aurc.accumulate_app)) [ 1; 2; 3; 4; 8 ]
+
+let test_rc_apps_verify () =
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun nprocs ->
+          try ignore (run ~nprocs (app.Apps.Registry.body ~verify:true))
+          with e ->
+            Alcotest.failf "%s under RC at P=%d: %s" app.Apps.Registry.name nprocs
+              (Printexc.to_string e))
+        [ 1; 3; 8 ])
+    (Apps.Registry.all Apps.Registry.Test)
+
+let test_rc_more_messages_than_lrc () =
+  (* The point of LRC (paper 2.1): RC pushes every update to every copy
+     holder eagerly, so on a widely-shared page it sends far more update
+     messages than the lazy protocol. *)
+  let app ctx =
+    let me = Svm.Api.pid ctx in
+    if me = 0 then ignore (Svm.Api.malloc ctx ~name:"x" 1024);
+    Svm.Api.barrier ctx;
+    let x = Svm.Api.root ctx "x" in
+    (* everyone caches the page *)
+    ignore (Svm.Api.read_int ctx x);
+    Svm.Api.barrier ctx;
+    Svm.Api.start_timing ctx;
+    (* one writer updates it repeatedly under a private lock; nobody reads *)
+    if me = 0 then
+      for round = 1 to 10 do
+        Svm.Api.lock ctx 0;
+        Svm.Api.write_int ctx x round;
+        Svm.Api.unlock ctx 0;
+        Svm.Api.barrier ctx
+      done
+    else
+      for _ = 1 to 10 do
+        Svm.Api.barrier ctx
+      done;
+    Svm.Api.barrier ctx
+  in
+  let rc = Svm.Runtime.run (Svm.Config.make ~nprocs:8 Svm.Config.Rc) app in
+  let lrc = Svm.Runtime.run (Svm.Config.make ~nprocs:8 Svm.Config.Lrc) app in
+  check Alcotest.bool "RC pushes to every copy holder" true
+    (Svm.Runtime.total_update_bytes rc > 3 * Svm.Runtime.total_update_bytes lrc)
+
+let test_rc_no_protocol_state_accumulation () =
+  (* No write notices, no retained diffs: nothing to garbage collect. *)
+  let r = run ~nprocs:4 Test_aurc.accumulate_app in
+  Array.iter
+    (fun n ->
+      check Alcotest.int "no GC" 0 n.Svm.Runtime.nr_counters.Svm.Stats.gc_runs;
+      check Alcotest.bool "tiny residual protocol memory" true (n.Svm.Runtime.nr_mem_end < 1024))
+    r.Svm.Runtime.r_nodes
+
+let test_rc_release_gates_handoff () =
+  (* A reader that acquires the writer's lock must see the writer's update
+     even though RC sends no write notices: the grant waited for the ack. *)
+  let app ctx =
+    let me = Svm.Api.pid ctx in
+    if me = 0 then ignore (Svm.Api.malloc ctx ~name:"x" 8);
+    Svm.Api.barrier ctx;
+    let x = Svm.Api.root ctx "x" in
+    ignore (Svm.Api.read_int ctx x);
+    (* join the copyset *)
+    Svm.Api.barrier ctx;
+    if me = 0 then begin
+      Svm.Api.lock ctx 3;
+      Svm.Api.write_int ctx x 41;
+      Svm.Api.write_int ctx (x + 1) 42;
+      Svm.Api.unlock ctx 3
+    end
+    else if me = 1 then begin
+      Svm.Api.compute ctx 5_000.;
+      Svm.Api.lock ctx 3;
+      check Alcotest.int "sees the pushed update" 41 (Svm.Api.read_int ctx x);
+      check Alcotest.int "and its neighbour" 42 (Svm.Api.read_int ctx (x + 1));
+      Svm.Api.unlock ctx 3
+    end;
+    Svm.Api.barrier ctx
+  in
+  ignore (run ~nprocs:3 app)
+
+let test_rc_random_programs =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"random DRF programs correct under RC" ~count:40
+       (QCheck.make Test_random.gen_program) (fun program ->
+         ignore (Test_random.run_program Svm.Config.Rc program);
+         true))
+
+let suite =
+  [
+    ("accumulation matrix", `Quick, test_rc_accumulation);
+    ("all applications verify", `Slow, test_rc_apps_verify);
+    ("RC sends more update traffic than LRC", `Quick, test_rc_more_messages_than_lrc);
+    ("no protocol state accumulates", `Quick, test_rc_no_protocol_state_accumulation);
+    ("release gates the handoff", `Quick, test_rc_release_gates_handoff);
+    test_rc_random_programs;
+  ]

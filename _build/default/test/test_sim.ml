@@ -1,0 +1,194 @@
+(* Unit and property tests for the discrete-event substrate: heap, RNG and
+   engine. *)
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create () in
+  List.iter (fun (k, v) -> Sim.Heap.push h ~key:k v) [ (3., "c"); (1., "a"); (2., "b") ];
+  check Alcotest.(pair (float 0.) string) "min" (1., "a") (Sim.Heap.pop_min h);
+  check Alcotest.(pair (float 0.) string) "next" (2., "b") (Sim.Heap.pop_min h);
+  check Alcotest.(pair (float 0.) string) "last" (3., "c") (Sim.Heap.pop_min h);
+  check Alcotest.bool "empty" true (Sim.Heap.is_empty h)
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  List.iter (fun v -> Sim.Heap.push h ~key:5. v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Sim.Heap.pop_min h)) in
+  check Alcotest.(list int) "insertion order on equal keys" [ 1; 2; 3; 4 ] order
+
+let test_heap_empty_pop () =
+  let h : int Sim.Heap.t = Sim.Heap.create () in
+  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Sim.Heap.pop_min h))
+
+let test_heap_peek () =
+  let h = Sim.Heap.create () in
+  Sim.Heap.push h ~key:2. "x";
+  Sim.Heap.push h ~key:1. "y";
+  check Alcotest.(pair (float 0.) string) "peek" (1., "y") (Sim.Heap.peek_min h);
+  check Alcotest.int "peek does not remove" 2 (Sim.Heap.length h)
+
+let test_heap_clear () =
+  let h = Sim.Heap.create () in
+  for i = 0 to 9 do
+    Sim.Heap.push h ~key:(float_of_int i) i
+  done;
+  Sim.Heap.clear h;
+  check Alcotest.bool "cleared" true (Sim.Heap.is_empty h)
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:200
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h ~key:k i) keys;
+      let rec drain last =
+        if Sim.Heap.is_empty h then true
+        else
+          let k, _ = Sim.Heap.pop_min h in
+          k >= last && drain k
+      in
+      drain neg_infinity)
+
+let prop_heap_conserves =
+  QCheck.Test.make ~name:"heap returns every pushed element once" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Sim.Heap.create () in
+      List.iter (fun x -> Sim.Heap.push h ~key:(float_of_int (x mod 7)) x) xs;
+      let out = ref [] in
+      while not (Sim.Heap.is_empty h) do
+        out := snd (Sim.Heap.pop_min h) :: !out
+      done;
+      List.sort compare !out = List.sort compare xs)
+
+(* ------------------------------------------------------------------ *)
+(* RNG *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create ~seed:7 and b = Sim.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Sim.Rng.int a 1000) (Sim.Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Sim.Rng.create ~seed:1 and b = Sim.Rng.create ~seed:2 in
+  let xs = List.init 20 (fun _ -> Sim.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.bits64 b) in
+  check Alcotest.bool "different streams" true (xs <> ys)
+
+let test_rng_split_independent () =
+  let a = Sim.Rng.create ~seed:3 in
+  let b = Sim.Rng.split a in
+  let xs = List.init 20 (fun _ -> Sim.Rng.bits64 a) in
+  let ys = List.init 20 (fun _ -> Sim.Rng.bits64 b) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let prop_rng_int_range =
+  QCheck.Test.make ~name:"rng int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Sim.Rng.create ~seed in
+      let x = Sim.Rng.int r bound in
+      x >= 0 && x < bound)
+
+let prop_rng_float_range =
+  QCheck.Test.make ~name:"rng float stays in [0, bound)" ~count:500 QCheck.small_int
+    (fun seed ->
+      let r = Sim.Rng.create ~seed in
+      let x = Sim.Rng.float r 1.0 in
+      x >= 0.0 && x < 1.0)
+
+let test_rng_mean () =
+  let r = Sim.Rng.create ~seed:11 in
+  let n = 10000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.float r 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check Alcotest.bool "mean near 0.5" true (mean > 0.47 && mean < 0.53)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_ordering () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~at:3. (fun () -> log := 3 :: !log);
+  Sim.Engine.schedule e ~at:1. (fun () -> log := 1 :: !log);
+  Sim.Engine.schedule e ~at:2. (fun () -> log := 2 :: !log);
+  ignore (Sim.Engine.run e);
+  check Alcotest.(list int) "timestamp order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_now_advances () =
+  let e = Sim.Engine.create () in
+  let seen = ref [] in
+  Sim.Engine.schedule e ~at:5. (fun () -> seen := Sim.Engine.now e :: !seen);
+  Sim.Engine.schedule e ~at:10. (fun () -> seen := Sim.Engine.now e :: !seen);
+  let final = Sim.Engine.run e in
+  check Alcotest.(list (float 0.)) "now at each event" [ 5.; 10. ] (List.rev !seen);
+  check (Alcotest.float 0.) "final time" 10. final
+
+let test_engine_nested_scheduling () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.schedule e ~at:1. (fun () ->
+      log := "a" :: !log;
+      Sim.Engine.schedule e ~at:2. (fun () -> log := "b" :: !log));
+  ignore (Sim.Engine.run e);
+  check Alcotest.(list string) "nested" [ "a"; "b" ] (List.rev !log)
+
+let test_engine_past_rejected () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~at:10. (fun () ->
+      try
+        Sim.Engine.schedule e ~at:1. (fun () -> ());
+        Alcotest.fail "scheduling in the past must raise"
+      with Invalid_argument _ -> ());
+  ignore (Sim.Engine.run e)
+
+let test_engine_equal_times_fifo () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  for i = 0 to 4 do
+    Sim.Engine.schedule e ~at:7. (fun () -> log := i :: !log)
+  done;
+  ignore (Sim.Engine.run e);
+  check Alcotest.(list int) "fifo at equal time" [ 0; 1; 2; 3; 4 ] (List.rev !log)
+
+let test_engine_step_and_counts () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~at:1. (fun () -> ());
+  Sim.Engine.schedule e ~at:2. (fun () -> ());
+  check Alcotest.int "pending" 2 (Sim.Engine.pending e);
+  check Alcotest.bool "step one" true (Sim.Engine.step e);
+  check Alcotest.int "executed" 1 (Sim.Engine.executed e);
+  check Alcotest.bool "step two" true (Sim.Engine.step e);
+  check Alcotest.bool "drained" false (Sim.Engine.step e)
+
+let suite =
+  [
+    ("heap ordering", `Quick, test_heap_ordering);
+    ("heap fifo ties", `Quick, test_heap_fifo_ties);
+    ("heap empty pop", `Quick, test_heap_empty_pop);
+    ("heap peek", `Quick, test_heap_peek);
+    ("heap clear", `Quick, test_heap_clear);
+    QCheck_alcotest.to_alcotest prop_heap_sorted;
+    QCheck_alcotest.to_alcotest prop_heap_conserves;
+    ("rng deterministic", `Quick, test_rng_deterministic);
+    ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
+    ("rng split independent", `Quick, test_rng_split_independent);
+    QCheck_alcotest.to_alcotest prop_rng_int_range;
+    QCheck_alcotest.to_alcotest prop_rng_float_range;
+    ("rng mean", `Quick, test_rng_mean);
+    ("engine ordering", `Quick, test_engine_ordering);
+    ("engine now advances", `Quick, test_engine_now_advances);
+    ("engine nested scheduling", `Quick, test_engine_nested_scheduling);
+    ("engine rejects past", `Quick, test_engine_past_rejected);
+    ("engine fifo at equal times", `Quick, test_engine_equal_times_fifo);
+    ("engine step and counts", `Quick, test_engine_step_and_counts);
+  ]
