@@ -19,10 +19,23 @@ type options = {
   mutable nodes : int list;
   mutable verify : bool;
   mutable artifacts : string list;
+  mutable json_out : string option;
+  mutable trace_out : string option;
+  mutable trace_format : Obs.Export.format;
 }
 
 let parse_args () =
-  let o = { scale = Apps.Registry.Bench; nodes = default_nodes; verify = true; artifacts = [] } in
+  let o =
+    {
+      scale = Apps.Registry.Bench;
+      nodes = default_nodes;
+      verify = true;
+      artifacts = [];
+      json_out = None;
+      trace_out = None;
+      trace_format = Obs.Export.Jsonl;
+    }
+  in
   let rec go = function
     | [] -> ()
     | "--scale" :: s :: rest ->
@@ -38,6 +51,18 @@ let parse_args () =
         go rest
     | "--no-verify" :: rest ->
         o.verify <- false;
+        go rest
+    | "--json" :: file :: rest ->
+        o.json_out <- Some file;
+        go rest
+    | "--trace-out" :: file :: rest ->
+        o.trace_out <- Some file;
+        go rest
+    | "--trace-format" :: s :: rest ->
+        (o.trace_format <-
+          (match Obs.Export.format_of_string s with
+          | Some fmt -> fmt
+          | None -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" s)));
         go rest
     | arg :: rest ->
         o.artifacts <- o.artifacts @ [ String.lowercase_ascii arg ];
@@ -112,10 +137,39 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* Machine-readable dump of every simulated cell (one per matrix entry). *)
+let dump_json file m =
+  let cell (app, proto, np, r) =
+    Obs.Json.Obj
+      [
+        ("app", Obs.Json.String app);
+        ( "protocol",
+          Obs.Json.String (String.lowercase_ascii (Svm.Config.protocol_name proto)) );
+        ("nodes", Obs.Json.Int np);
+        ("report", Svm.Report_json.encode r);
+      ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [
+        ("schema_version", Obs.Json.Int Svm.Report_json.schema_version);
+        ("cells", Obs.Json.List (List.map cell (Harness.Matrix.cells m)));
+      ]
+  in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Obs.Json.to_string_pretty doc);
+      output_char oc '\n')
+
 let () =
   let o = parse_args () in
   let ppf = Format.std_formatter in
-  let m = Harness.Matrix.create ~verify:o.verify ~scale:o.scale () in
+  let sink =
+    match o.trace_out with None -> None | Some _ -> Some (Obs.Trace.create_sink ())
+  in
+  let m = Harness.Matrix.create ~verify:o.verify ?sink ~scale:o.scale () in
   Harness.Matrix.on_progress m (fun s -> Format.eprintf "  [%s]@." s);
   let run = function
     | "table1" -> Harness.Tables.table1 ppf m
@@ -156,4 +210,8 @@ let () =
     | other -> failwith (Printf.sprintf "unknown artifact %S" other)
   in
   List.iter run o.artifacts;
+  (match o.json_out with None -> () | Some file -> dump_json file m);
+  (match (o.trace_out, sink) with
+  | Some file, Some s -> Obs.Export.write_file o.trace_format file s
+  | _ -> ());
   Format.pp_print_flush ppf ()

@@ -7,8 +7,10 @@
 
 open Cmdliner
 
+let protocol_choices = String.concat "|" Svm.Config.protocol_strings
+
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
-    =
+    json_out trace_out trace_format =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -19,7 +21,13 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   let protocol =
     match Svm.Config.protocol_of_string proto_name with
     | Some p -> p
-    | None -> failwith (Printf.sprintf "unknown protocol %S (lrc|olrc|hlrc|ohlrc)" proto_name)
+    | None ->
+        failwith (Printf.sprintf "unknown protocol %S (%s)" proto_name protocol_choices)
+  in
+  let trace_fmt =
+    match Obs.Export.format_of_string trace_format with
+    | Some fmt -> fmt
+    | None -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" trace_format)
   in
   let app =
     match Apps.Registry.find app_name scale with
@@ -33,9 +41,16 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
   in
+  let sink =
+    match trace_out with None -> None | Some _ -> Some (Obs.Trace.create_sink ())
+  in
   let t0 = Unix.gettimeofday () in
-  let r = Svm.Runtime.run ?trace:trace_fn cfg (app.Apps.Registry.body ~verify) in
+  let r = Svm.Runtime.run ?trace:trace_fn ?sink cfg (app.Apps.Registry.body ~verify) in
   let wall = Unix.gettimeofday () -. t0 in
+  (match json_out with None -> () | Some file -> Svm.Report_json.write file r);
+  (match (trace_out, sink) with
+  | Some file, Some sink -> Obs.Export.write_file trace_fmt file sink
+  | _ -> ());
   Format.printf "application : %s (%s)@." app.Apps.Registry.name app.Apps.Registry.description;
   Format.printf "protocol    : %s, %d nodes@." (Svm.Config.protocol_name protocol) nprocs;
   Format.printf "elapsed     : %.3f simulated seconds (%.2f s wall, %d events)@."
@@ -62,7 +77,7 @@ let app_arg =
   Arg.(value & opt string "lu" & info [ "a"; "app" ] ~docv:"APP" ~doc)
 
 let proto_arg =
-  let doc = "Protocol: lrc, olrc, hlrc or ohlrc." in
+  let doc = "Protocol: " ^ String.concat ", " Svm.Config.protocol_strings ^ "." in
   Arg.(value & opt string "hlrc" & info [ "p"; "protocol" ] ~docv:"PROTO" ~doc)
 
 let nodes_arg =
@@ -97,12 +112,28 @@ let coproc_locks_arg =
   let doc = "Service lock requests on the co-processor (overlapped protocols)." in
   Arg.(value & flag & info [ "coproc-locks" ] ~doc)
 
+let json_arg =
+  let doc = "Write the machine-readable report (JSON) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let trace_out_arg =
+  let doc = "Write the typed trace-event stream to $(docv) (see --trace-format)." in
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let trace_format_arg =
+  let doc =
+    "Trace output format: jsonl (one event per line) or chrome (Chrome trace_event \
+     JSON, loadable in Perfetto / chrome://tracing)."
+  in
+  Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
+
 let cmd =
   let doc = "run a Splash-2-style benchmark on the simulated SVM system" in
   let info = Cmd.info "svm_run" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
       const run $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg $ seed_arg
-      $ breakdown_arg $ migrate_arg $ coproc_locks_arg)
+      $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
+      $ trace_format_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -12,21 +12,25 @@ let protocol_name = function
   | Aurc -> "AURC"
   | Rc -> "RC"
 
+(* The canonical command-line spellings, derived from the one protocol
+   list so help/error text can never drift from what the parser accepts. *)
+let protocol_strings =
+  List.map (fun p -> String.lowercase_ascii (protocol_name p)) extended_protocols
+
 let protocol_of_string s =
-  match String.lowercase_ascii s with
-  | "lrc" -> Some Lrc
-  | "olrc" -> Some Olrc
-  | "hlrc" -> Some Hlrc
-  | "ohlrc" -> Some Ohlrc
-  | "aurc" -> Some Aurc
-  | "rc" -> Some Rc
-  | _ -> None
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun p -> String.lowercase_ascii (protocol_name p) = s) extended_protocols
 
 let home_based = function Hlrc | Ohlrc | Aurc -> true | Lrc | Olrc | Rc -> false
 
 let overlapped = function Olrc | Ohlrc -> true | Lrc | Hlrc | Aurc | Rc -> false
 
 type home_policy = Round_robin | Block | Allocator
+
+let home_policy_name = function
+  | Round_robin -> "round_robin"
+  | Block -> "block"
+  | Allocator -> "allocator"
 
 type t = {
   nprocs : int;

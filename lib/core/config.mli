@@ -22,6 +22,11 @@ val extended_protocols : protocol list
 
 val protocol_name : protocol -> string
 
+(** The command-line spellings {!protocol_of_string} accepts, in
+    {!extended_protocols} order — the single source of truth for help and
+    error text (["lrc"; "olrc"; "hlrc"; "ohlrc"; "aurc"; "rc"]). *)
+val protocol_strings : string list
+
 val protocol_of_string : string -> protocol option
 
 (** Home-based protocols maintain a master copy of each page at a home node
@@ -35,6 +40,10 @@ val overlapped : protocol -> bool
 (** Fallback home assignment for pages allocated without a placement hint
     (home-based protocols only). *)
 type home_policy = Round_robin | Block | Allocator
+
+(** Name of a home-assignment policy (["round_robin"] | ["block"] |
+    ["allocator"]), as serialized in JSON reports. *)
+val home_policy_name : home_policy -> string
 
 type t = {
   nprocs : int;

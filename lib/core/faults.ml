@@ -49,7 +49,7 @@ let causal_order tagged =
 
 let apply_one_diff sys node entry diff =
   let c = costs sys in
-  Mem.Diff.apply diff (Mem.Page_table.data_exn entry);
+  Mem.Diff.apply ?obs:(diff_obs sys node) diff (Mem.Page_table.data_exn entry);
   (match entry.Mem.Page_table.twin with Some t -> Mem.Diff.apply diff t | None -> ());
   charge_protocol node (Intervals.diff_apply_cost c diff);
   node.stats.Stats.c.Stats.diffs_applied <- node.stats.Stats.c.Stats.diffs_applied + 1
@@ -101,7 +101,7 @@ let rec fetch_from_home sys node page ~on_valid =
   let needed = Proto.Vclock.copy pi.needed in
   node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
   let request_bytes = header_bytes + Proto.Vclock.size_bytes needed in
-  trace sys node "page fault: fetch page %d from home %d" page home;
+  event sys node (Obs.Trace.Page_fetch { page; home });
   send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.clock ~bytes:request_bytes ~update:0
     (fun arrival ->
       let serve_fetch at =
@@ -143,7 +143,7 @@ let rec fetch_from_home sys node page ~on_valid =
       else begin
         ignore (serve sys home_node ~arrival ~cost:request_service_cost);
         hp.hp_pending <- { pf_needed = needed; pf_serve = serve_fetch } :: hp.hp_pending;
-        trace sys home_node "fetch of page %d pending (flush behind)" page
+        event sys home_node (Obs.Trace.Page_fetch_pending { page })
       end);
   ignore c
 
@@ -209,8 +209,8 @@ let collect_diffs sys node page ~on_valid =
       (fun (writer, idxs) ->
         let writer_node = sys.nodes.(writer) in
         let bytes = header_bytes + (8 * List.length idxs) in
-        trace sys node "diff request: page %d from writer %d (%d intervals)" page writer
-          (List.length idxs);
+        event sys node
+          (Obs.Trace.Diff_request { page; writer; intervals = List.length idxs });
         send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.clock ~bytes ~update:0
           (fun arrival ->
             let cost = request_service_cost *. float_of_int (List.length idxs) in
@@ -267,7 +267,7 @@ let fetch_full_page sys node page ~on_valid =
   else begin
     let source_node = sys.nodes.(source) in
     node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
-    trace sys node "full-page fetch: page %d from node %d" page source;
+    event sys node (Obs.Trace.Full_page_fetch { page; source });
     send sys ~src:node ~dst:source ~at:node.mach.Machine.Node.clock ~bytes:header_bytes
       ~update:0 (fun arrival ->
         let done_t = serve sys source_node ~arrival ~cost:request_service_cost in

@@ -54,7 +54,7 @@ let discard_all sys node =
       List.iter (fun iv -> release_interval node iv) ivs;
       node.known.(creator) <- [])
     node.known;
-  trace sys node "gc: discarded diffs and interval records"
+  event sys node Obs.Trace.Gc_done
 
 (* Validate-or-drop every page this node tracks, then call [k]. Validations
    run sequentially (one outstanding diff collection per node). Pages with
@@ -111,8 +111,8 @@ let sweep sys node ~k =
 let run sys node ~on_done =
   node.in_gc <- true;
   node.stats.Stats.c.Stats.gc_runs <- node.stats.Stats.c.Stats.gc_runs + 1;
-  trace sys node "gc: start (protocol memory %d bytes)"
-    (Mem.Accounting.current node.stats.Stats.proto_mem);
+  event sys node
+    (Obs.Trace.Gc_start { mem_bytes = Mem.Accounting.current node.stats.Stats.proto_mem });
   sweep sys node ~k:(fun () ->
       (* Rendezvous: nobody discards until everyone has validated. *)
       let mgr = sys.nodes.(0) in

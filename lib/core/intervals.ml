@@ -33,7 +33,7 @@ let deliver_au_stamp sys home_node ~arrival ~writer ~index ~page =
   let hp = home_page sys home_node page in
   if index > Proto.Vclock.get hp.hp_flush writer then Proto.Vclock.set hp.hp_flush writer index;
   serve_pending_fetches hp ~at:arrival;
-  trace sys home_node "AU flush stamp for page %d from node %d (interval %d)" page writer index
+  event sys home_node (Obs.Trace.Au_stamp { page; writer; index })
 
 (* Eager RC: a pushed update reaches a copyset member. The *state* change
    is performed by the caller at push time (closing the race between a push
@@ -45,7 +45,8 @@ let deliver_au_stamp sys home_node ~arrival ~writer ~index ~page =
 let deliver_rc_update sys member ~arrival ~writer ~page diff =
   let done_t = serve_compute sys member ~arrival ~cost:(diff_apply_cost (costs sys) diff) in
   member.stats.Stats.c.Stats.diffs_applied <- member.stats.Stats.c.Stats.diffs_applied + 1;
-  trace sys member "applied eager update for page %d from node %d" page writer;
+  event sys member
+    (Obs.Trace.Eager_update { page; writer; bytes = Mem.Diff.size_bytes diff });
   send sys ~src:member ~dst:writer ~at:done_t ~bytes:header_bytes ~update:0 (fun ack_at ->
       rc_ack_arrived sys sys.nodes.(writer) ~at:ack_at)
 
@@ -73,8 +74,8 @@ let deliver_flush sys home_node ~arrival ~writer ~index ~page diff =
   let hp = home_page sys home_node page in
   if index > Proto.Vclock.get hp.hp_flush writer then Proto.Vclock.set hp.hp_flush writer index;
   serve_pending_fetches hp ~at:done_t;
-  trace sys home_node "applied flush diff for page %d from node %d (interval %d)" page writer
-    index
+  event sys home_node
+    (Obs.Trace.Diff_flush { page; writer; index; bytes = Mem.Diff.size_bytes diff })
 
 (* End the node's current interval, if it wrote anything. *)
 let end_interval sys node =
@@ -97,8 +98,7 @@ let end_interval sys node =
         node.known.(node.id) <- iv :: node.known.(node.id);
         account_interval node iv
       end;
-      trace sys node "interval %d ends: pages [%s]" index
-        (String.concat ";" (List.map string_of_int pages));
+      event sys node (Obs.Trace.Interval_end { index; pages });
       let finish_page entry =
         entry.Mem.Page_table.dirty <- false;
         entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
@@ -120,6 +120,7 @@ let end_interval sys node =
             let diff = Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry) in
             node.stats.Stats.c.Stats.diffs_created <-
               node.stats.Stats.c.Stats.diffs_created + 1;
+            event sys node (Mem.Diff.created_event diff);
             let done_t = local_protocol_work sys node ~cost:(diff_create_cost c ~page_words) in
             Mem.Page_table.drop_twin entry;
             Mem.Accounting.sub node.stats.Stats.proto_mem page_bytes;
@@ -135,7 +136,7 @@ let end_interval sys node =
                   let mentry = Mem.Page_table.ensure member.pt page in
                   (match mentry.Mem.Page_table.data with
                   | Some data ->
-                      Mem.Diff.apply diff data;
+                      Mem.Diff.apply ?obs:(diff_obs sys member) diff data;
                       (match mentry.Mem.Page_table.twin with
                       | Some t -> Mem.Diff.apply diff t
                       | None -> ())
@@ -209,6 +210,7 @@ let end_interval sys node =
               in
               node.stats.Stats.c.Stats.diffs_created <-
                 node.stats.Stats.c.Stats.diffs_created + 1;
+              event sys node (Mem.Diff.created_event diff);
               let done_t =
                 local_protocol_work sys node ~cost:(diff_create_cost c ~page_words)
               in
@@ -235,6 +237,7 @@ let end_interval sys node =
             let diff = Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry) in
             node.stats.Stats.c.Stats.diffs_created <-
               node.stats.Stats.c.Stats.diffs_created + 1;
+            event sys node (Mem.Diff.created_event diff);
             ignore (local_protocol_work sys node ~cost:(diff_create_cost c ~page_words));
             Mem.Page_table.drop_twin entry;
             Mem.Accounting.sub node.stats.Stats.proto_mem page_bytes;
@@ -281,6 +284,9 @@ let apply_remote_intervals sys node ivs =
         Proto.Vclock.set node.vt creator index;
         charge_protocol node
           (c.Machine.Costs.write_notice_handle *. float_of_int (List.length iv.Proto.Interval.pages));
+        event sys node
+          (Obs.Trace.Write_notice
+             { writer = creator; index; pages = List.length iv.Proto.Interval.pages });
         List.iter
           (fun page ->
             let pi = page_info sys node page in

@@ -92,7 +92,7 @@ let transfer sys ~page ~old_home ~new_home ~at =
   Hashtbl.remove old_node.homes page;
   Mem.Accounting.sub old_node.stats.Stats.proto_mem (Proto.Vclock.size_bytes flush);
   hentry.Mem.Page_table.prot <- Mem.Page_table.No_access;
-  trace sys old_node "migrating home of page %d to node %d" page new_home;
+  event sys old_node (Obs.Trace.Home_migration { page; dst = new_home });
   let bytes = header_bytes + Mem.Layout.page_bytes sys.layout + Proto.Vclock.size_bytes flush in
   send sys ~src:old_node ~dst:new_home ~at ~bytes ~update:(Mem.Layout.page_bytes sys.layout)
     (fun arrival ->

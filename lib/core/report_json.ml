@@ -1,0 +1,239 @@
+let schema_version = 1
+
+open Obs.Json
+
+let f x = Float x
+
+let costs_json (c : Machine.Costs.t) =
+  Obj
+    [
+      ("message_latency", f c.message_latency);
+      ("byte_transfer", f c.byte_transfer);
+      ("per_hop", f c.per_hop);
+      ("receive_interrupt", f c.receive_interrupt);
+      ("twin_copy", f c.twin_copy);
+      ("diff_create_base", f c.diff_create_base);
+      ("diff_create_per_word", f c.diff_create_per_word);
+      ("diff_apply_base", f c.diff_apply_base);
+      ("diff_apply_per_word", f c.diff_apply_per_word);
+      ("page_fault", f c.page_fault);
+      ("page_invalidate", f c.page_invalidate);
+      ("page_protect", f c.page_protect);
+      ("mem_access", f c.mem_access);
+      ("lock_service", f c.lock_service);
+      ("barrier_service", f c.barrier_service);
+      ("write_notice_handle", f c.write_notice_handle);
+      ("coproc_dispatch", f c.coproc_dispatch);
+    ]
+
+let config_json (cfg : Config.t) =
+  Obj
+    [
+      ("protocol", String (String.lowercase_ascii (Config.protocol_name cfg.protocol)));
+      ("nprocs", Int cfg.nprocs);
+      ("page_words", Int cfg.page_words);
+      ("home_policy", String (Config.home_policy_name cfg.home_policy));
+      ("gc_threshold_bytes", Int cfg.gc_threshold_bytes);
+      ("coproc_locks", Bool cfg.coproc_locks);
+      ("au_combine_words", Int cfg.au_combine_words);
+      ("home_migration", Bool cfg.home_migration);
+      ("seed", Int cfg.seed);
+      ("costs", costs_json cfg.costs);
+    ]
+
+let breakdown_json (b : Stats.breakdown) =
+  Obj
+    [
+      ("compute", f b.compute);
+      ("data", f b.data);
+      ("lock", f b.lock);
+      ("barrier", f b.barrier);
+      ("protocol", f b.protocol);
+      ("gc", f b.gc);
+    ]
+
+let counters_json (c : Stats.counters) =
+  Obj
+    [
+      ("read_misses", Int c.read_misses);
+      ("write_faults", Int c.write_faults);
+      ("diffs_created", Int c.diffs_created);
+      ("diffs_applied", Int c.diffs_applied);
+      ("lock_acquires", Int c.lock_acquires);
+      ("remote_acquires", Int c.remote_acquires);
+      ("barriers", Int c.barriers);
+      ("messages", Int c.messages);
+      ("update_bytes", Int c.update_bytes);
+      ("protocol_bytes", Int c.protocol_bytes);
+      ("page_fetches", Int c.page_fetches);
+      ("gc_runs", Int c.gc_runs);
+      ("home_migrations", Int c.home_migrations);
+    ]
+
+let node_json (n : Runtime.node_report) =
+  Obj
+    [
+      ("id", Int n.nr_id);
+      ("elapsed_us", f n.nr_elapsed);
+      ("breakdown", breakdown_json n.nr_breakdown);
+      ("counters", counters_json n.nr_counters);
+      ("mem_peak", Int n.nr_mem_peak);
+      ("mem_end", Int n.nr_mem_end);
+      ("epochs", List (List.map breakdown_json n.nr_epochs));
+    ]
+
+let encode (r : Runtime.report) =
+  Obj
+    [
+      ("schema_version", Int schema_version);
+      ("config", config_json r.r_config);
+      ("elapsed_us", f r.r_elapsed);
+      ("shared_bytes", Int r.r_shared_bytes);
+      ("events", Int r.r_events);
+      ( "totals",
+        Obj
+          [
+            ("messages", Int (Runtime.total_messages r));
+            ("update_bytes", Int (Runtime.total_update_bytes r));
+            ("protocol_bytes", Int (Runtime.total_protocol_bytes r));
+            ("mem_peak", Int (Runtime.max_mem_peak r));
+            ("mean_compute_us", f (Runtime.mean_compute r));
+          ] );
+      ("nodes", List (Array.to_list (Array.map node_json r.r_nodes)));
+    ]
+
+let to_string r = to_string_pretty (encode r)
+
+let write file r =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string r);
+      output_char oc '\n')
+
+(* --- validation ------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let fail fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let field path j name =
+  match member name j with
+  | Some v -> Ok v
+  | None -> fail "%s: missing field %S" path name
+
+let want_int path j name =
+  let* v = field path j name in
+  match to_int v with
+  | Some n -> Ok n
+  | None -> fail "%s.%s: expected an integer" path name
+
+let want_num path j name =
+  let* v = field path j name in
+  match to_float v with
+  | Some x -> Ok x
+  | None -> fail "%s.%s: expected a number" path name
+
+let want_string path j name =
+  let* v = field path j name in
+  match v with
+  | String s -> Ok s
+  | _ -> fail "%s.%s: expected a string" path name
+
+let want_bool path j name =
+  let* v = field path j name in
+  match v with
+  | Bool b -> Ok b
+  | _ -> fail "%s.%s: expected a boolean" path name
+
+let want_list path j name =
+  let* v = field path j name in
+  match to_list v with
+  | Some l -> Ok l
+  | None -> fail "%s.%s: expected a list" path name
+
+let breakdown_fields = [ "compute"; "data"; "lock"; "barrier"; "protocol"; "gc" ]
+
+let counter_fields =
+  [
+    "read_misses"; "write_faults"; "diffs_created"; "diffs_applied"; "lock_acquires";
+    "remote_acquires"; "barriers"; "messages"; "update_bytes"; "protocol_bytes";
+    "page_fetches"; "gc_runs"; "home_migrations";
+  ]
+
+let rec each f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      each f rest
+
+let check_breakdown path j = each (fun name -> Result.map ignore (want_num path j name)) breakdown_fields
+
+let check_node i j =
+  let path = Printf.sprintf "nodes[%d]" i in
+  let* _ = want_int path j "id" in
+  let* _ = want_num path j "elapsed_us" in
+  let* b = field path j "breakdown" in
+  let* () = check_breakdown (path ^ ".breakdown") b in
+  let* c = field path j "counters" in
+  let* () = each (fun name -> Result.map ignore (want_int (path ^ ".counters") c name)) counter_fields in
+  let* _ = want_int path j "mem_peak" in
+  let* _ = want_int path j "mem_end" in
+  let* epochs = want_list path j "epochs" in
+  each (fun e -> check_breakdown (path ^ ".epochs") e) epochs
+
+let validate j =
+  let* version = want_int "report" j "schema_version" in
+  if version <> schema_version then
+    fail "report.schema_version: got %d, expected %d" version schema_version
+  else
+    let* cfg = field "report" j "config" in
+    let* proto = want_string "config" cfg "protocol" in
+    if not (List.mem proto Config.protocol_strings) then
+      fail "config.protocol: unknown protocol %S" proto
+    else
+      let* nprocs = want_int "config" cfg "nprocs" in
+      if nprocs <= 0 then fail "config.nprocs: must be positive (got %d)" nprocs
+      else
+        let* _ = want_int "config" cfg "page_words" in
+        let* _ = want_string "config" cfg "home_policy" in
+        let* _ = want_int "config" cfg "seed" in
+        let* _ = want_bool "config" cfg "coproc_locks" in
+        let* _ = want_num "report" j "elapsed_us" in
+        let* _ = want_int "report" j "shared_bytes" in
+        let* _ = want_int "report" j "events" in
+        let* totals = field "report" j "totals" in
+        let* _ = want_int "totals" totals "messages" in
+        let* _ = want_int "totals" totals "update_bytes" in
+        let* _ = want_int "totals" totals "protocol_bytes" in
+        let* _ = want_int "totals" totals "mem_peak" in
+        let* _ = want_num "totals" totals "mean_compute_us" in
+        let* nodes = want_list "report" j "nodes" in
+        if List.length nodes <> nprocs then
+          fail "report.nodes: %d entries but config.nprocs = %d" (List.length nodes) nprocs
+        else
+          let* () = each (fun (i, n) -> check_node i n) (List.mapi (fun i n -> (i, n)) nodes) in
+          Ok ()
+
+let headline j =
+  match validate j with
+  | Error _ -> None
+  | Ok () ->
+      let num name j = Option.bind (member name j) to_float in
+      let totals = member "totals" j in
+      let ( let+ ) o k = Option.bind o k in
+      let+ elapsed = num "elapsed_us" j in
+      let+ t = totals in
+      let+ messages = num "messages" t in
+      let+ update_bytes = num "update_bytes" t in
+      let+ protocol_bytes = num "protocol_bytes" t in
+      let+ mem_peak = num "mem_peak" t in
+      Some
+        [
+          ("elapsed_us", elapsed);
+          ("messages", messages);
+          ("update_bytes", update_bytes);
+          ("protocol_bytes", protocol_bytes);
+          ("mem_peak", mem_peak);
+        ]

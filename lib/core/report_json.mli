@@ -1,0 +1,29 @@
+(** Machine-readable reports: {!Runtime.report} → JSON.
+
+    This is the stable contract consumed by the CI benchmark-regression
+    gate ([bench/check_regression.ml]) and any external tooling: time
+    breakdowns, operation/traffic counters, per-epoch deltas and memory
+    peaks per node, plus run-level totals, keyed by a [schema_version].
+    The encoding contains only simulated quantities — no wall-clock time —
+    so two runs of the same configuration and seed serialize to
+    byte-identical documents. *)
+
+val schema_version : int
+
+val encode : Runtime.report -> Obs.Json.t
+
+(** Pretty serialization of {!encode} (deterministic; see {!Obs.Json}). *)
+val to_string : Runtime.report -> string
+
+(** Write the report to [file]. *)
+val write : string -> Runtime.report -> unit
+
+(** Structural schema check of a parsed report: version, config, totals,
+    and the per-node records all present with the right shapes. Returns
+    a description of the first violation. *)
+val validate : Obs.Json.t -> (unit, string) result
+
+(** The headline counters the regression gate compares, from a schema-valid
+    report: [("elapsed_us", _); ("messages", _); ("update_bytes", _);
+    ("protocol_bytes", _); ("mem_peak", _)]. *)
+val headline : Obs.Json.t -> (string * float) list option

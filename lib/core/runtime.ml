@@ -81,9 +81,10 @@ let collect sys =
     r_events = Sim.Engine.executed sys.System.engine;
   }
 
-let run ?trace cfg app =
+let run ?trace ?sink cfg app =
   let sys = System.create cfg in
   sys.System.trace <- trace;
+  sys.System.sink <- sink;
   Array.iter
     (fun node ->
       Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))

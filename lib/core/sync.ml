@@ -58,7 +58,7 @@ let resume_after_home_waits sys node waits =
       List.iter
         (fun (page, hp) ->
           let pi = page_info sys node page in
-          trace sys node "home-wait: page %d flush behind" page;
+          event sys node (Obs.Trace.Home_wait { page });
           hp.hp_pending <-
             {
               pf_needed = Proto.Vclock.copy pi.needed;
@@ -88,8 +88,8 @@ let send_grant sys holder ~lock ~requester ~req_vt ~at =
   let ivs = Intervals.missing_intervals holder req_vt in
   let vt_copy = Proto.Vclock.copy holder.vt in
   let requester_node = sys.nodes.(requester) in
-  trace sys holder "grant lock %d to node %d (%d interval records)" lock requester
-    (List.length ivs);
+  event sys holder
+    (Obs.Trace.Lock_grant { lock; dst = requester; intervals = List.length ivs });
   send sys ~src:holder ~dst:requester ~at:(at +. inline_work) ~bytes:(grant_bytes sys ivs)
     ~update:0 (fun arrival ->
       Machine.Node.sync_to requester_node.mach arrival;
@@ -113,7 +113,7 @@ let receive_forward sys holder ~lock ~requester ~req_vt ~arrival =
   if ls.lk_held || ls.lk_waiting then begin
     assert (ls.lk_waiter = None);
     ls.lk_waiter <- Some (requester, req_vt);
-    trace sys holder "lock %d busy; node %d queued" lock requester
+    event sys holder (Obs.Trace.Lock_queued { lock; requester })
   end
   else begin
     assert ls.lk_token;
@@ -146,6 +146,7 @@ let acquire sys node lock k =
   if ls.lk_token then begin
     (* Token still here and nobody asked for it: free reacquire. *)
     ls.lk_held <- true;
+    event sys node (Obs.Trace.Lock_acquire { lock; remote = false });
     block sys node Wait_lock k;
     resume sys node ~at:node.mach.Machine.Node.clock
   end
@@ -155,7 +156,7 @@ let acquire sys node lock k =
     (* Performing a remote acquire delimits the current interval. *)
     Intervals.end_interval sys node;
     block sys node Wait_lock k;
-    trace sys node "remote acquire of lock %d" lock;
+    event sys node (Obs.Trace.Lock_acquire { lock; remote = true });
     let req_vt = Proto.Vclock.copy node.vt in
     let mgr = manager_of sys lock in
     if mgr = node.id then
@@ -237,7 +238,7 @@ let complete_barrier sys =
      releases go out, so everyone resumes against the new directory. *)
   Migration.run sys all_ivs;
   let c = costs sys in
-  trace sys mgr "barrier %d completes%s" bar.bar_epoch (if gc then " (gc)" else "");
+  event sys mgr (Obs.Trace.Barrier_release { epoch = bar.bar_epoch; gc });
   (* Releases to the other nodes, each with the records it lacks. *)
   List.iter
     (fun (from, vt, _) ->
@@ -284,7 +285,8 @@ let barrier sys node k =
   node.reported <- Proto.Vclock.get node.vt node.id;
   let vt = Proto.Vclock.copy node.vt in
   let mem = Mem.Accounting.current node.stats.Stats.proto_mem in
-  trace sys node "enters barrier (%d own interval records)" (List.length own);
+  event sys node
+    (Obs.Trace.Barrier_arrive { epoch = sys.barrier.bar_epoch; intervals = List.length own });
   (* Eager RC: the barrier arrival waits for this node's update acks. *)
   rc_when_drained sys node (fun drain_at ->
       let at = Float.max drain_at node.mach.Machine.Node.clock in

@@ -121,6 +121,8 @@ type t = {
   mutable gc_nodes_done : int;  (* GC rendezvous counter (homeless GC) *)
   gc_on_done : (int, unit -> unit) Hashtbl.t;  (* per-node GC completions *)
   mutable trace : (float -> string -> unit) option;
+      (* legacy string tracer: fed by rendering the typed events *)
+  mutable sink : Obs.Trace.sink option;  (* typed trace-event sink *)
   mutable finished_count : int;
 }
 
@@ -187,6 +189,7 @@ let create (cfg : Config.t) =
     gc_nodes_done = 0;
     gc_on_done = Hashtbl.create 8;
     trace = None;
+    sink = None;
     finished_count = 0;
   }
 
@@ -210,13 +213,36 @@ let homeless_lazy t =
 
 let now t = Sim.Engine.now t.engine
 
-let trace t node fmt =
+(* ------------------------------------------------------------------ *)
+(* Structured observability                                            *)
+
+(* Whether anyone is listening; hot paths use this to skip constructing
+   event payloads when tracing is off. *)
+let observing t = t.sink <> None || t.trace <> None
+
+(* Emit one typed trace event attributed to [node] at time [time]. The
+   typed sink stores it as-is; the legacy string callback receives the
+   rendered legacy line (kinds with no legacy rendering are skipped), so
+   the old [?trace] interface is a thin adapter over the typed stream. *)
+let event_at t ~node ~time kind =
+  (match t.sink with
+  | Some sink -> Obs.Trace.emit sink { Obs.Trace.time; node; kind }
+  | None -> ());
   match t.trace with
-  | None -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
-  | Some emit ->
-      Format.kasprintf
-        (fun s -> emit node.mach.Machine.Node.clock (Printf.sprintf "[node %d] %s" node.id s))
-        fmt
+  | Some emit -> (
+      match Obs.Trace.render kind with
+      | Some line -> emit time (Printf.sprintf "[node %d] %s" node line)
+      | None -> ())
+  | None -> ()
+
+(* Emission at the node's current virtual clock (the common case). *)
+let event t node kind =
+  if observing t then event_at t ~node:node.id ~time:node.mach.Machine.Node.clock kind
+
+(* Observer closure for diff-level emission ([Mem.Diff.apply ?obs]):
+   [None] when tracing is off so the hot path stays allocation-free. *)
+let diff_obs t node =
+  if observing t then Some (fun kind -> event t node kind) else None
 
 (* ------------------------------------------------------------------ *)
 (* Page metadata                                                      *)
@@ -309,7 +335,9 @@ let send t ~src ~dst ~at ~bytes ~update handler =
   if src.id <> dst then begin
     c.Stats.messages <- c.Stats.messages + 1;
     c.Stats.update_bytes <- c.Stats.update_bytes + update;
-    c.Stats.protocol_bytes <- c.Stats.protocol_bytes + (bytes - update)
+    c.Stats.protocol_bytes <- c.Stats.protocol_bytes + (bytes - update);
+    if observing t then
+      event_at t ~node:src.id ~time:at (Obs.Trace.Msg_send { dst; bytes; update })
   end;
   let transfer = Machine.Network.transfer_time t.net ~src:src.id ~dst ~bytes in
   let arrival = at +. transfer in
@@ -324,7 +352,10 @@ let send t ~src ~dst ~at ~bytes ~update handler =
     end
   in
   let arrival = Float.max arrival (now t) in
-  Sim.Engine.schedule t.engine ~at:arrival (fun () -> handler arrival)
+  Sim.Engine.schedule t.engine ~at:arrival (fun () ->
+      if src.id <> dst && observing t then
+        event_at t ~node:dst ~time:arrival (Obs.Trace.Msg_recv { src = src.id; bytes; update });
+      handler arrival)
 
 (* ------------------------------------------------------------------ *)
 (* Request service                                                    *)

@@ -104,6 +104,7 @@ type t = {
   mutable gc_nodes_done : int;
   gc_on_done : (int, unit -> unit) Hashtbl.t;
   mutable trace : (float -> string -> unit) option;
+  mutable sink : Obs.Trace.sink option;
   mutable finished_count : int;
 }
 
@@ -145,8 +146,28 @@ val homeless_lazy : t -> bool
 (** Current simulated time. *)
 val now : t -> float
 
-(** Emit a line on the run's trace hook (no-op when tracing is off). *)
-val trace : t -> node_state -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** {1 Structured observability}
+
+    Protocol modules report what they do as typed {!Obs.Trace.kind} events.
+    Events flow to the run's typed sink (when installed) and, rendered
+    through {!Obs.Trace.render}, to the legacy string-trace callback —
+    which is therefore a thin adapter over the typed stream. *)
+
+(** Whether a sink or the legacy callback is installed; hot paths check
+    this before constructing event payloads. *)
+val observing : t -> bool
+
+(** Emit an event attributed to [node] at its current virtual clock
+    (no-op when nothing is observing). *)
+val event : t -> node_state -> Obs.Trace.kind -> unit
+
+(** Emission with explicit attribution (message arrivals, where the
+    receiving node's clock has not been synced yet). *)
+val event_at : t -> node:int -> time:float -> Obs.Trace.kind -> unit
+
+(** Observer closure for {!Mem.Diff.apply}'s [?obs] hook, attributing
+    diff-level events to [node]; [None] when tracing is off. *)
+val diff_obs : t -> node_state -> (Obs.Trace.kind -> unit) option
 
 (** Per-page metadata of a node, created on first use. *)
 val page_info : t -> node_state -> int -> page_info

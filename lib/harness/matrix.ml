@@ -11,12 +11,13 @@ type key = { k_app : string; k_proto : Svm.Config.protocol; k_np : int }
 type t = {
   scale : Apps.Registry.scale;
   verify : bool;
+  sink : Obs.Trace.sink option;
   cache : (key, Svm.Runtime.report) Hashtbl.t;
   mutable progress : (string -> unit) option;
 }
 
-let create ?(verify = true) ~scale () =
-  { scale; verify; cache = Hashtbl.create 64; progress = None }
+let create ?(verify = true) ?sink ~scale () =
+  { scale; verify; sink; cache = Hashtbl.create 64; progress = None }
 
 let on_progress t f = t.progress <- Some f
 
@@ -34,9 +35,21 @@ let get t (app : Apps.Registry.t) proto np =
                (Svm.Config.protocol_name proto) np)
       | None -> ());
       let cfg = Svm.Config.make ~nprocs:np proto in
-      let r = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:t.verify) in
+      let r = Svm.Runtime.run ?sink:t.sink cfg (app.Apps.Registry.body ~verify:t.verify) in
       Hashtbl.replace t.cache key r;
       r
+
+(* Cached cells in a deterministic (app, protocol, node-count) order, for
+   machine-readable dumps. *)
+let cells t =
+  Hashtbl.fold (fun k r acc -> (k.k_app, k.k_proto, k.k_np, r) :: acc) t.cache []
+  |> List.sort (fun (a1, p1, n1, _) (a2, p2, n2, _) ->
+         match compare a1 a2 with
+         | 0 -> (
+             match compare (Svm.Config.protocol_name p1) (Svm.Config.protocol_name p2) with
+             | 0 -> compare n1 n2
+             | c -> c)
+         | c -> c)
 
 (* Sequential baseline: computation-only time of a one-node run. *)
 let seq_time t app =

@@ -7,8 +7,9 @@
 type t
 
 (** [create ~scale ()] builds an empty matrix; [verify] (default true)
-    checks every run against its sequential reference. *)
-val create : ?verify:bool -> scale:Apps.Registry.scale -> unit -> t
+    checks every run against its sequential reference. [sink] receives the
+    typed trace events of every uncached run (see {!Obs.Trace}). *)
+val create : ?verify:bool -> ?sink:Obs.Trace.sink -> scale:Apps.Registry.scale -> unit -> t
 
 (** Install a progress callback (called before each uncached run). *)
 val on_progress : t -> (string -> unit) -> unit
@@ -27,3 +28,8 @@ val speedup : t -> Apps.Registry.t -> Svm.Config.protocol -> int -> float
 
 (** Mean over nodes of one per-node counter. *)
 val mean_counter : Svm.Runtime.report -> (Svm.Stats.counters -> int) -> float
+
+(** All cached cells as [(app, protocol, node_count, report)], sorted by
+    application name, protocol name, then node count — a deterministic
+    order for machine-readable dumps. *)
+val cells : t -> (string * Svm.Config.protocol * int * Svm.Runtime.report) list

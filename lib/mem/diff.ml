@@ -6,6 +6,14 @@ let entry_bytes = 12 (* 4-byte offset + 8-byte word *)
 
 let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
 
+let word_count t = Array.length t.words
+
+let size_bytes t = header_bytes + (entry_bytes * Array.length t.words)
+
+(* The typed event for a diff construction, for callers that observe the
+   operation (the node and timestamp attribution live with the caller). *)
+let created_event t = Obs.Trace.Diff_create { page = t.page; words = word_count t; bytes = size_bytes t }
+
 let create ~page ~twin ~current =
   if Array.length twin <> Array.length current then
     invalid_arg "Diff.create: twin and current differ in length";
@@ -19,14 +27,15 @@ let create ~page ~twin ~current =
   done;
   { page; words = Array.of_list !changed }
 
-let apply t data =
-  Array.iter (fun (offset, value) -> data.(offset) <- value) t.words
+let apply ?obs t data =
+  Array.iter (fun (offset, value) -> data.(offset) <- value) t.words;
+  match obs with
+  | Some emit ->
+      emit
+        (Obs.Trace.Diff_apply { page = t.page; words = word_count t; bytes = size_bytes t })
+  | None -> ()
 
 let is_empty t = Array.length t.words = 0
-
-let word_count t = Array.length t.words
-
-let size_bytes t = header_bytes + (entry_bytes * Array.length t.words)
 
 let merge older newer =
   if older.page <> newer.page then invalid_arg "Diff.merge: different pages";

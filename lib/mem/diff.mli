@@ -13,8 +13,16 @@ type t = private { page : int; words : (int * float) array }
     matching memcmp-based diffing. Arrays must have equal length. *)
 val create : page:int -> twin:float array -> current:float array -> t
 
-(** [apply t data] writes the diff's words into [data]. *)
-val apply : t -> float array -> unit
+(** [apply ?obs t data] writes the diff's words into [data]. When [obs] is
+    given, a typed {!Obs.Trace.Diff_apply} event (page, changed words, wire
+    bytes) is emitted through it — the structured-observability hook the
+    simulator's runtime threads down here so every observed diff
+    application is attributed to the node whose copy it mutates. *)
+val apply : ?obs:(Obs.Trace.kind -> unit) -> t -> float array -> unit
+
+(** The {!Obs.Trace.Diff_create} event describing this diff, for callers
+    that observe diff construction. *)
+val created_event : t -> Obs.Trace.kind
 
 val is_empty : t -> bool
 

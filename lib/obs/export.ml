@@ -1,0 +1,82 @@
+type format = Jsonl | Chrome
+
+let format_of_string s =
+  match String.lowercase_ascii s with
+  | "jsonl" -> Some Jsonl
+  | "chrome" -> Some Chrome
+  | _ -> None
+
+let format_name = function Jsonl -> "jsonl" | Chrome -> "chrome"
+
+let jsonl sink =
+  let buf = Buffer.create 4096 in
+  Trace.iter sink (fun ev ->
+      Json.to_buffer buf (Trace.to_json ev);
+      Buffer.add_char buf '\n');
+  if Trace.dropped sink > 0 then begin
+    Json.to_buffer buf
+      (Json.Obj [ ("ev", Json.String "dropped"); ("count", Json.Int (Trace.dropped sink)) ]);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
+(* Chrome trace_event JSON: metadata events name the process and one thread
+   per node, then every protocol event becomes a thread-scoped instant
+   event ("ph":"i") at its simulated microsecond timestamp. *)
+let chrome ?(name = "svm") sink =
+  let nodes = Hashtbl.create 16 in
+  Trace.iter sink (fun ev -> Hashtbl.replace nodes ev.Trace.node ());
+  let node_ids = List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes []) in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+    :: List.map
+         (fun n ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int n);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "node %d" n)) ]);
+             ])
+         node_ids
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char buf ',';
+      Json.to_buffer buf m)
+    meta;
+  Trace.iter sink (fun ev ->
+      Buffer.add_char buf ',';
+      Json.to_buffer buf
+        (Json.Obj
+           [
+             ("name", Json.String (Trace.kind_name ev.Trace.kind));
+             ("cat", Json.String "svm");
+             ("ph", Json.String "i");
+             ("s", Json.String "t");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int ev.Trace.node);
+             ("ts", Json.Float ev.Trace.time);
+             ("args", Json.Obj (Trace.kind_fields ev.Trace.kind));
+           ]));
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"";
+  if Trace.dropped sink > 0 then
+    Buffer.add_string buf (Printf.sprintf ",\"droppedEvents\":%d" (Trace.dropped sink));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file fmt ?name file sink =
+  let doc = match fmt with Jsonl -> jsonl sink | Chrome -> chrome ?name sink in
+  let oc = open_out file in
+  output_string oc doc;
+  close_out oc

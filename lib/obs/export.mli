@@ -1,0 +1,28 @@
+(** Serializing a trace sink to files / strings.
+
+    Two formats:
+
+    - {b JSONL}: one flat JSON object per line (the {!Trace.to_json}
+      encoding), trivially greppable and streamable; if the sink overflowed,
+      a final [{"ev":"dropped","count":N}] line records the loss.
+    - {b Chrome [trace_event]}: a JSON document loadable directly by
+      [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}, with one
+      named track (thread) per simulated node and each protocol event as an
+      instant event carrying its structured fields in [args]. *)
+
+type format = Jsonl | Chrome
+
+(** Parse a [--trace-format] argument (["jsonl"] | ["chrome"]). *)
+val format_of_string : string -> format option
+
+val format_name : format -> string
+
+(** JSONL document (lines terminated by ['\n']). *)
+val jsonl : Trace.sink -> string
+
+(** Chrome [trace_event] JSON document. [name] labels the process track
+    (e.g. ["lu/hlrc/8"]). *)
+val chrome : ?name:string -> Trace.sink -> string
+
+(** Write the sink to [file] in [format]. *)
+val write_file : format -> ?name:string -> string -> Trace.sink -> unit

@@ -1,0 +1,181 @@
+type kind =
+  | Page_fetch of { page : int; home : int }
+  | Page_fetch_pending of { page : int }
+  | Full_page_fetch of { page : int; source : int }
+  | Diff_request of { page : int; writer : int; intervals : int }
+  | Diff_create of { page : int; words : int; bytes : int }
+  | Diff_apply of { page : int; words : int; bytes : int }
+  | Diff_flush of { page : int; writer : int; index : int; bytes : int }
+  | Au_stamp of { page : int; writer : int; index : int }
+  | Eager_update of { page : int; writer : int; bytes : int }
+  | Write_notice of { writer : int; index : int; pages : int }
+  | Interval_end of { index : int; pages : int list }
+  | Lock_acquire of { lock : int; remote : bool }
+  | Lock_grant of { lock : int; dst : int; intervals : int }
+  | Lock_queued of { lock : int; requester : int }
+  | Home_wait of { page : int }
+  | Barrier_arrive of { epoch : int; intervals : int }
+  | Barrier_release of { epoch : int; gc : bool }
+  | Home_migration of { page : int; dst : int }
+  | Gc_start of { mem_bytes : int }
+  | Gc_done
+  | Msg_send of { dst : int; bytes : int; update : int }
+  | Msg_recv of { src : int; bytes : int; update : int }
+
+type event = { time : float; node : int; kind : kind }
+
+let kind_name = function
+  | Page_fetch _ -> "page_fetch"
+  | Page_fetch_pending _ -> "page_fetch_pending"
+  | Full_page_fetch _ -> "full_page_fetch"
+  | Diff_request _ -> "diff_request"
+  | Diff_create _ -> "diff_create"
+  | Diff_apply _ -> "diff_apply"
+  | Diff_flush _ -> "diff_flush"
+  | Au_stamp _ -> "au_stamp"
+  | Eager_update _ -> "eager_update"
+  | Write_notice _ -> "write_notice"
+  | Interval_end _ -> "interval_end"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_grant _ -> "lock_grant"
+  | Lock_queued _ -> "lock_queued"
+  | Home_wait _ -> "home_wait"
+  | Barrier_arrive _ -> "barrier_arrive"
+  | Barrier_release _ -> "barrier_release"
+  | Home_migration _ -> "home_migration"
+  | Gc_start _ -> "gc_start"
+  | Gc_done -> "gc_done"
+  | Msg_send _ -> "msg_send"
+  | Msg_recv _ -> "msg_recv"
+
+let kind_fields = function
+  | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
+  | Page_fetch_pending { page } -> [ ("page", Json.Int page) ]
+  | Full_page_fetch { page; source } -> [ ("page", Json.Int page); ("source", Json.Int source) ]
+  | Diff_request { page; writer; intervals } ->
+      [ ("page", Json.Int page); ("writer", Json.Int writer); ("intervals", Json.Int intervals) ]
+  | Diff_create { page; words; bytes } ->
+      [ ("page", Json.Int page); ("words", Json.Int words); ("bytes", Json.Int bytes) ]
+  | Diff_apply { page; words; bytes } ->
+      [ ("page", Json.Int page); ("words", Json.Int words); ("bytes", Json.Int bytes) ]
+  | Diff_flush { page; writer; index; bytes } ->
+      [
+        ("page", Json.Int page);
+        ("writer", Json.Int writer);
+        ("index", Json.Int index);
+        ("bytes", Json.Int bytes);
+      ]
+  | Au_stamp { page; writer; index } ->
+      [ ("page", Json.Int page); ("writer", Json.Int writer); ("index", Json.Int index) ]
+  | Eager_update { page; writer; bytes } ->
+      [ ("page", Json.Int page); ("writer", Json.Int writer); ("bytes", Json.Int bytes) ]
+  | Write_notice { writer; index; pages } ->
+      [ ("writer", Json.Int writer); ("index", Json.Int index); ("pages", Json.Int pages) ]
+  | Interval_end { index; pages } ->
+      [ ("index", Json.Int index); ("pages", Json.List (List.map (fun p -> Json.Int p) pages)) ]
+  | Lock_acquire { lock; remote } -> [ ("lock", Json.Int lock); ("remote", Json.Bool remote) ]
+  | Lock_grant { lock; dst; intervals } ->
+      [ ("lock", Json.Int lock); ("dst", Json.Int dst); ("intervals", Json.Int intervals) ]
+  | Lock_queued { lock; requester } ->
+      [ ("lock", Json.Int lock); ("requester", Json.Int requester) ]
+  | Home_wait { page } -> [ ("page", Json.Int page) ]
+  | Barrier_arrive { epoch; intervals } ->
+      [ ("epoch", Json.Int epoch); ("intervals", Json.Int intervals) ]
+  | Barrier_release { epoch; gc } -> [ ("epoch", Json.Int epoch); ("gc", Json.Bool gc) ]
+  | Home_migration { page; dst } -> [ ("page", Json.Int page); ("dst", Json.Int dst) ]
+  | Gc_start { mem_bytes } -> [ ("mem_bytes", Json.Int mem_bytes) ]
+  | Gc_done -> []
+  | Msg_send { dst; bytes; update } ->
+      [ ("dst", Json.Int dst); ("bytes", Json.Int bytes); ("update", Json.Int update) ]
+  | Msg_recv { src; bytes; update } ->
+      [ ("src", Json.Int src); ("bytes", Json.Int bytes); ("update", Json.Int update) ]
+
+let to_json ev =
+  Json.Obj
+    (("ts", Json.Float ev.time)
+    :: ("node", Json.Int ev.node)
+    :: ("ev", Json.String (kind_name ev.kind))
+    :: kind_fields ev.kind)
+
+(* Exact reproductions of the strings the pre-typed tracer emitted at each
+   site; the legacy callback adapter in the runtime depends on this mapping
+   staying verbatim. *)
+let render = function
+  | Page_fetch { page; home } ->
+      Some (Printf.sprintf "page fault: fetch page %d from home %d" page home)
+  | Page_fetch_pending { page } ->
+      Some (Printf.sprintf "fetch of page %d pending (flush behind)" page)
+  | Full_page_fetch { page; source } ->
+      Some (Printf.sprintf "full-page fetch: page %d from node %d" page source)
+  | Diff_request { page; writer; intervals } ->
+      Some (Printf.sprintf "diff request: page %d from writer %d (%d intervals)" page writer intervals)
+  | Diff_flush { page; writer; index; _ } ->
+      Some
+        (Printf.sprintf "applied flush diff for page %d from node %d (interval %d)" page writer
+           index)
+  | Au_stamp { page; writer; index } ->
+      Some
+        (Printf.sprintf "AU flush stamp for page %d from node %d (interval %d)" page writer index)
+  | Eager_update { page; writer; _ } ->
+      Some (Printf.sprintf "applied eager update for page %d from node %d" page writer)
+  | Interval_end { index; pages } ->
+      Some
+        (Printf.sprintf "interval %d ends: pages [%s]" index
+           (String.concat ";" (List.map string_of_int pages)))
+  | Lock_acquire { lock; remote } ->
+      if remote then Some (Printf.sprintf "remote acquire of lock %d" lock) else None
+  | Lock_grant { lock; dst; intervals } ->
+      Some (Printf.sprintf "grant lock %d to node %d (%d interval records)" lock dst intervals)
+  | Lock_queued { lock; requester } ->
+      Some (Printf.sprintf "lock %d busy; node %d queued" lock requester)
+  | Home_wait { page } -> Some (Printf.sprintf "home-wait: page %d flush behind" page)
+  | Barrier_arrive { intervals; _ } ->
+      Some (Printf.sprintf "enters barrier (%d own interval records)" intervals)
+  | Barrier_release { epoch; gc } ->
+      Some (Printf.sprintf "barrier %d completes%s" epoch (if gc then " (gc)" else ""))
+  | Home_migration { page; dst } ->
+      Some (Printf.sprintf "migrating home of page %d to node %d" page dst)
+  | Gc_start { mem_bytes } ->
+      Some (Printf.sprintf "gc: start (protocol memory %d bytes)" mem_bytes)
+  | Gc_done -> Some "gc: discarded diffs and interval records"
+  | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Bounded sink: a growing array capped at [capacity]; overflow is      *)
+(* counted, not stored, so tracing a long run cannot exhaust memory.    *)
+
+type sink = {
+  mutable buf : event array;
+  mutable len : int;
+  capacity : int;
+  mutable n_dropped : int;
+}
+
+let dummy = { time = 0.; node = 0; kind = Gc_done }
+
+let create_sink ?(capacity = 1_000_000) () =
+  if capacity <= 0 then invalid_arg "Trace.create_sink: capacity must be positive";
+  { buf = Array.make (min capacity 1024) dummy; len = 0; capacity; n_dropped = 0 }
+
+let emit s ev =
+  if s.len >= s.capacity then s.n_dropped <- s.n_dropped + 1
+  else begin
+    if s.len >= Array.length s.buf then begin
+      let buf' = Array.make (min s.capacity (2 * Array.length s.buf)) dummy in
+      Array.blit s.buf 0 buf' 0 s.len;
+      s.buf <- buf'
+    end;
+    s.buf.(s.len) <- ev;
+    s.len <- s.len + 1
+  end
+
+let events s = Array.to_list (Array.sub s.buf 0 s.len)
+
+let iter s f =
+  for i = 0 to s.len - 1 do
+    f s.buf.(i)
+  done
+
+let length s = s.len
+
+let dropped s = s.n_dropped

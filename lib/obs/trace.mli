@@ -1,0 +1,88 @@
+(** Typed protocol trace events and the bounded in-memory sink.
+
+    Every observable protocol action — page fetches, diff create/apply/
+    flush, write notices, lock traffic, barrier phases, home migration, GC,
+    raw message send/receive — is a {!kind} carrying its structured fields
+    (page / lock ids, peer nodes, byte counts). The runtime wraps kinds
+    into {!event}s stamped with the emitting node and its simulated clock
+    (microseconds) and pushes them into a {!sink}; the exporters in
+    {!Export} then serialize the sink to JSONL or Chrome [trace_event]
+    format.
+
+    The legacy [(float -> string -> unit)] trace callback of
+    {!Svm.Runtime.run} is a thin adapter over this stream: {!render} maps
+    each kind back to exactly the human-readable line the old string-based
+    tracer printed ([None] for kinds that had no legacy line, such as
+    message send/receive). *)
+
+type kind =
+  | Page_fetch of { page : int; home : int }  (** Home-based fetch request. *)
+  | Page_fetch_pending of { page : int }  (** Home defers a fetch: flush behind. *)
+  | Full_page_fetch of { page : int; source : int }  (** Homeless base-copy fetch. *)
+  | Diff_request of { page : int; writer : int; intervals : int }
+  | Diff_create of { page : int; words : int; bytes : int }
+  | Diff_apply of { page : int; words : int; bytes : int }
+  | Diff_flush of { page : int; writer : int; index : int; bytes : int }
+      (** A flushed diff applied to the home's master copy. *)
+  | Au_stamp of { page : int; writer : int; index : int }
+      (** AURC release timestamp reaching the home. *)
+  | Eager_update of { page : int; writer : int; bytes : int }
+      (** Eager-RC push applied at a copyset member. *)
+  | Write_notice of { writer : int; index : int; pages : int }
+      (** One received interval record processed ([pages] = pages noticed). *)
+  | Interval_end of { index : int; pages : int list }
+  | Lock_acquire of { lock : int; remote : bool }
+  | Lock_grant of { lock : int; dst : int; intervals : int }
+  | Lock_queued of { lock : int; requester : int }
+  | Home_wait of { page : int }  (** Blocked on own home copy's in-flight diffs. *)
+  | Barrier_arrive of { epoch : int; intervals : int }
+  | Barrier_release of { epoch : int; gc : bool }
+  | Home_migration of { page : int; dst : int }
+  | Gc_start of { mem_bytes : int }
+  | Gc_done
+  | Msg_send of { dst : int; bytes : int; update : int }
+  | Msg_recv of { src : int; bytes : int; update : int }
+
+type event = {
+  time : float;  (** Simulated time, microseconds. *)
+  node : int;  (** Emitting node ([dst] for {!Msg_recv}). *)
+  kind : kind;
+}
+
+(** Stable snake_case tag of the kind (the ["ev"] field in exports). *)
+val kind_name : kind -> string
+
+(** Structured fields of the kind, in a fixed order (deterministic). *)
+val kind_fields : kind -> (string * Json.t) list
+
+(** One event as a flat JSON object: [ts], [node], [ev], then the kind's
+    fields. *)
+val to_json : event -> Json.t
+
+(** The exact line the legacy string tracer printed for this kind (without
+    the ["[node N] "] prefix), or [None] for kinds the legacy tracer never
+    reported. *)
+val render : kind -> string option
+
+(** {1 Bounded sink} *)
+
+type sink
+
+(** [create_sink ?capacity ()] holds up to [capacity] events (default
+    [1_000_000]); later events are counted in {!dropped} but not stored,
+    keeping memory bounded on long runs. *)
+val create_sink : ?capacity:int -> unit -> sink
+
+val emit : sink -> event -> unit
+
+(** Stored events, in emission order. *)
+val events : sink -> event list
+
+(** Iterate stored events in emission order without materializing a list. *)
+val iter : sink -> (event -> unit) -> unit
+
+(** Number of stored events. *)
+val length : sink -> int
+
+(** Events discarded because the sink was full. *)
+val dropped : sink -> int

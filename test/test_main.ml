@@ -2,6 +2,7 @@ let () =
   Alcotest.run "svm-hlrc"
     [
       ("sim", Test_sim.suite);
+      ("obs", Test_obs.suite);
       ("mem", Test_mem.suite);
       ("proto", Test_proto.suite);
       ("machine", Test_machine.suite);
