@@ -10,7 +10,11 @@
 
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
-   ablation-locks ablation-migration micro all *)
+   ablation-locks ablation-migration chaos-soak micro all
+
+   Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
+   --fault-seed apply one chaos plan to every simulated cell (chaos-soak
+   ignores them and sweeps its own plans). *)
 
 let default_nodes = [ 8; 32; 64 ]
 
@@ -22,6 +26,7 @@ type options = {
   mutable json_out : string option;
   mutable trace_out : string option;
   mutable trace_format : Obs.Export.format;
+  mutable chaos : Machine.Chaos.params;
 }
 
 let parse_args () =
@@ -34,7 +39,13 @@ let parse_args () =
       json_out = None;
       trace_out = None;
       trace_format = Obs.Export.Jsonl;
+      chaos = Machine.Chaos.none;
     }
+  in
+  let rate name s =
+    match float_of_string_opt s with
+    | Some x -> x
+    | None -> failwith (Printf.sprintf "%s: expected a number, got %S" name s)
   in
   let rec go = function
     | [] -> ()
@@ -47,7 +58,36 @@ let parse_args () =
           | other -> failwith (Printf.sprintf "unknown scale %S" other)));
         go rest
     | "--nodes" :: s :: rest ->
-        o.nodes <- List.map int_of_string (String.split_on_char ',' s);
+        o.nodes <-
+          List.map
+            (fun part ->
+              match int_of_string_opt part with
+              | Some n when n > 0 -> n
+              | Some n -> failwith (Printf.sprintf "--nodes: node count must be positive, got %d" n)
+              | None -> failwith (Printf.sprintf "--nodes: expected an integer, got %S" part))
+            (String.split_on_char ',' s);
+        go rest
+    | "--drop-rate" :: s :: rest ->
+        o.chaos <- { o.chaos with Machine.Chaos.drop_rate = rate "--drop-rate" s };
+        go rest
+    | "--dup-rate" :: s :: rest ->
+        o.chaos <- { o.chaos with Machine.Chaos.dup_rate = rate "--dup-rate" s };
+        go rest
+    | "--jitter" :: s :: rest ->
+        o.chaos <- { o.chaos with Machine.Chaos.jitter = rate "--jitter" s };
+        go rest
+    | "--straggler" :: s :: rest ->
+        o.chaos <- { o.chaos with Machine.Chaos.straggler = rate "--straggler" s };
+        go rest
+    | "--fault-seed" :: s :: rest ->
+        (o.chaos <-
+          {
+            o.chaos with
+            Machine.Chaos.fault_seed =
+              (match int_of_string_opt s with
+              | Some n -> n
+              | None -> failwith (Printf.sprintf "--fault-seed: expected an integer, got %S" s));
+          });
         go rest
     | "--no-verify" :: rest ->
         o.verify <- false;
@@ -69,6 +109,9 @@ let parse_args () =
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
+  (match Machine.Chaos.validate o.chaos with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
   if o.artifacts = [] then o.artifacts <- [ "all" ];
   o
 
@@ -164,12 +207,18 @@ let dump_json file m =
       output_char oc '\n')
 
 let () =
-  let o = parse_args () in
+  let o =
+    try parse_args () with
+    | Failure msg | Invalid_argument msg ->
+        Printf.eprintf "bench: %s\n" msg;
+        exit 2
+  in
   let ppf = Format.std_formatter in
   let sink =
     match o.trace_out with None -> None | Some _ -> Some (Obs.Trace.create_sink ())
   in
-  let m = Harness.Matrix.create ~verify:o.verify ?sink ~scale:o.scale () in
+  let m = Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos ~scale:o.scale () in
+  let failures = ref 0 in
   Harness.Matrix.on_progress m (fun s -> Format.eprintf "  [%s]@." s);
   let run = function
     | "table1" -> Harness.Tables.table1 ppf m
@@ -189,6 +238,8 @@ let () =
     | "aurc" | "protocols" -> Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes
     | "ablation-migration" ->
         Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes
+    | "chaos-soak" ->
+        if not (Harness.Soak.report ppf ~scale:o.scale ()) then incr failures
     | "micro" -> micro ()
     | "all" ->
         Harness.Tables.table1 ppf m;
@@ -214,4 +265,5 @@ let () =
   (match (o.trace_out, sink) with
   | Some file, Some s -> Obs.Export.write_file o.trace_format file s
   | _ -> ());
-  Format.pp_print_flush ppf ()
+  Format.pp_print_flush ppf ();
+  if !failures > 0 then exit 1

@@ -10,7 +10,7 @@ open Cmdliner
 let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
-    json_out trace_out trace_format =
+    json_out trace_out trace_format drop_rate dup_rate jitter straggler fault_seed =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -37,7 +37,13 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
           (Printf.sprintf "unknown application %S (%s)" app_name
              (String.concat "|" Apps.Registry.names))
   in
-  let cfg = Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed protocol in
+  let chaos = { Machine.Chaos.drop_rate; dup_rate; jitter; straggler; fault_seed } in
+  (match Machine.Chaos.validate chaos with
+  | Ok () -> ()
+  | Error msg -> failwith msg);
+  let cfg =
+    Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos protocol
+  in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
   in
@@ -62,6 +68,17 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     (Svm.Runtime.total_messages r)
     (float_of_int (Svm.Runtime.total_update_bytes r) /. 1048576.0)
     (float_of_int (Svm.Runtime.total_protocol_bytes r) /. 1048576.0);
+  if Svm.Config.chaos_enabled cfg then begin
+    let sum field =
+      Array.fold_left (fun acc n -> acc + field n.Svm.Runtime.nr_counters) 0 r.Svm.Runtime.r_nodes
+    in
+    Format.printf "chaos       : %d dropped, %d retransmitted, %d acks, %d duplicates discarded@."
+      (sum (fun c -> c.Svm.Stats.msg_drops))
+      (sum (fun c -> c.Svm.Stats.msg_retransmits))
+      (sum (fun c -> c.Svm.Stats.msg_acks))
+      (sum (fun c -> c.Svm.Stats.msg_dup_dropped));
+    Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest
+  end;
   if verify then Format.printf "verification: passed (results match the sequential reference)@.";
   if breakdown then begin
     Format.printf "@.per-node breakdowns:@.";
@@ -127,13 +144,51 @@ let trace_format_arg =
   in
   Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
 
+let drop_rate_arg =
+  let doc = "Probability in [0,1) that the network drops a packet (chaos testing)." in
+  Arg.(value & opt float 0.0 & info [ "drop-rate" ] ~docv:"P" ~doc)
+
+let dup_rate_arg =
+  let doc = "Probability in [0,1) that the network duplicates a packet (chaos testing)." in
+  Arg.(value & opt float 0.0 & info [ "dup-rate" ] ~docv:"P" ~doc)
+
+let jitter_arg =
+  let doc =
+    "Maximum extra per-packet latency in microseconds; 1 in 64 packets spikes to 8x this."
+  in
+  Arg.(value & opt float 0.0 & info [ "jitter" ] ~docv:"US" ~doc)
+
+let straggler_arg =
+  let doc =
+    "Straggler factor >= 1: each node's local work is scaled by a per-node multiplier drawn \
+     uniformly from [1, $(docv)]. 1 disables."
+  in
+  Arg.(value & opt float 1.0 & info [ "straggler" ] ~docv:"F" ~doc)
+
+let fault_seed_arg =
+  let doc = "Seed for the fault-injection plan (independent of --seed)." in
+  Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
+
+(* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
+   above, [Chaos.validate], or [Config.make]); turn them into a clean
+   one-line error and a nonzero exit instead of a backtrace. *)
+let run_safe a b c d e g h i j k l m n o p q s t =
+  try run a b c d e g h i j k l m n o p q s t with
+  | Failure msg | Invalid_argument msg ->
+      Printf.eprintf "svm_run: %s\n" msg;
+      exit 2
+  | Svm.System.Deadlock dump ->
+      Printf.eprintf "svm_run: the run cannot make progress\n%s\n" dump;
+      exit 3
+
 let cmd =
   let doc = "run a Splash-2-style benchmark on the simulated SVM system" in
   let info = Cmd.info "svm_run" ~version:"1.0" ~doc in
   Cmd.v info
     Term.(
-      const run $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg $ seed_arg
-      $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
-      $ trace_format_arg)
+      const run_safe $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg
+      $ seed_arg $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
+      $ trace_format_arg $ drop_rate_arg $ dup_rate_arg $ jitter_arg $ straggler_arg
+      $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -115,7 +115,9 @@ let body ?(verify = true) p ctx =
       App_util.owner_of ~n:p.height ~nparts:np row
     in
     ignore (Svm.Api.malloc ctx ~name:"rt.image" ~home:image_home (p.width * p.height));
-    let queues = Svm.Api.malloc ctx ~name:"rt.queues" ~home:(fun pg ->
+    (* [~scratch]: final head/tail values depend on who stole what, i.e. on
+       timing — coherent but not part of the result. *)
+    let queues = Svm.Api.malloc ctx ~name:"rt.queues" ~scratch:true ~home:(fun pg ->
         App_util.owner_of ~n:(np * qwords) ~nparts:np (pg * Svm.Api.page_words ctx))
         (np * qwords)
     in

@@ -24,7 +24,8 @@ let nprocs ctx = System.nprocs ctx.sys
 
 let page_words ctx = ctx.mask + 1
 
-let malloc ctx ?name ?home words = System.malloc ctx.sys ctx.node ?name ?home_map:home words
+let malloc ctx ?name ?home ?scratch words =
+  System.malloc ctx.sys ctx.node ?name ?home_map:home ?scratch words
 
 let root ctx name = System.root ctx.sys name
 

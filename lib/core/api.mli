@@ -34,8 +34,12 @@ val nprocs : ctx -> int
     other processes (after a barrier). [home] maps each page index within
     the allocation to its home node (home-based protocols; the "chosen
     intelligently" placement of §4.4); unhinted pages follow the configured
-    {!Config.home_policy}. *)
-val malloc : ctx -> ?name:string -> ?home:(int -> int) -> int -> int
+    {!Config.home_policy}. [scratch] (default false) marks the allocation's
+    contents as schedule-dependent by design (task-queue cursors and the
+    like): still fully coherent, but excluded from the final-memory digest
+    that the chaos soak compares, since a different interleaving legitimately
+    leaves different values there. *)
+val malloc : ctx -> ?name:string -> ?home:(int -> int) -> ?scratch:bool -> int -> int
 
 (** Address registered under [name] by a previous [malloc].
     @raise Invalid_argument if no such registration exists. *)

@@ -44,13 +44,34 @@ type t = {
   home_migration : bool;
   paranoid : bool;
   seed : int;
+  chaos : Machine.Chaos.params;
 }
+
+let chaos_enabled t = Machine.Chaos.enabled t.chaos
+
+let power_of_two n = n > 0 && n land (n - 1) = 0
 
 let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(home_policy = Round_robin) ?(gc_threshold_bytes = 2 * 1024 * 1024)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
-    ?(paranoid = false) ?(seed = 42) ~nprocs protocol =
-  if nprocs <= 0 then invalid_arg "Config.make: nprocs must be positive";
+    ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none) ~nprocs protocol =
+  if nprocs <= 0 then
+    invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
+  if not (power_of_two page_words) then
+    invalid_arg
+      (Printf.sprintf "Config.make: page_words must be a positive power of two (got %d)"
+         page_words);
+  if gc_threshold_bytes <= 0 then
+    invalid_arg
+      (Printf.sprintf "Config.make: gc_threshold_bytes must be positive (got %d)"
+         gc_threshold_bytes);
+  if au_combine_words <= 0 then
+    invalid_arg
+      (Printf.sprintf "Config.make: au_combine_words must be positive (got %d)"
+         au_combine_words);
+  (match Machine.Chaos.validate chaos with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Config.make: " ^ e));
   {
     nprocs;
     protocol;
@@ -63,4 +84,5 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     home_migration;
     paranoid;
     seed;
+    chaos;
   }

@@ -72,8 +72,21 @@ type t = {
           {!Invariants.Violation} otherwise). No effect on the simulated
           costs. *)
   seed : int;
+  chaos : Machine.Chaos.params;
+      (** Network fault injection and CPU stragglers. With
+          {!Machine.Chaos.none} (the default) the run is fault-free and
+          the reliable-transport layer is bypassed entirely, so reports
+          are byte-identical to a build without the chaos machinery. *)
 }
 
+(** Whether this configuration injects any faults (see
+    {!Machine.Chaos.enabled}). *)
+val chaos_enabled : t -> bool
+
+(** Raises [Invalid_argument] with a descriptive message when a knob is out
+    of range: [nprocs], [gc_threshold_bytes] or [au_combine_words]
+    non-positive, [page_words] not a positive power of two, or an invalid
+    chaos plan (rates outside [0, 1], negative jitter, straggler < 1). *)
 val make :
   ?page_words:int ->
   ?costs:Machine.Costs.t ->
@@ -84,6 +97,7 @@ val make :
   ?home_migration:bool ->
   ?paranoid:bool ->
   ?seed:int ->
+  ?chaos:Machine.Chaos.params ->
   nprocs:int ->
   protocol ->
   t

@@ -1,4 +1,8 @@
-(* Page-fault handling.
+(* Page-fault handling — the SVM access-detection mechanism (a "fault" in
+   the virtual-memory sense: a trapped read or write to an invalid page).
+   Injected infrastructure failures — lost/duplicated messages, latency
+   spikes, slow nodes — are a different thing entirely and live in
+   [Machine.Chaos] / [Machine.Transport].
 
    Home-based protocols resolve a miss with a single round trip to the
    page's home, which holds an eagerly-updated master copy guarded by

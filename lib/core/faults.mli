@@ -1,4 +1,7 @@
-(** Page-fault handling.
+(** Page-fault handling — the SVM access-detection mechanism (a "fault" in
+    the virtual-memory sense: a trapped read or write to an invalid page).
+    Injected infrastructure failures live in {!Machine.Chaos} and
+    {!Machine.Transport}, not here.
 
     Home-based protocols resolve a miss with one round trip to the page's
     home, whose eagerly-updated master copy is guarded by per-writer flush

@@ -17,6 +17,11 @@ open System
 
 exception Violation of string
 
+(* Side-effect-free by design: the final-memory digest in [Runtime.collect]
+   calls this outside any synchronization point, so it must not create home
+   records or page-table entries (which would perturb memory accounting and
+   break report byte-identity). A home record that was never created has a
+   zero flush vector, which is exactly what an absent entry means. *)
 let page_currents sys page =
   Array.fold_left
     (fun acc (node : node_state) ->
@@ -25,25 +30,30 @@ let page_currents sys page =
         match node.pinfo.(page) with
         | None -> acc
         | Some pi -> (
-            let entry = Mem.Page_table.ensure node.pt page in
-            match entry.Mem.Page_table.data with
+            match Mem.Page_table.find node.pt page with
             | None -> acc
-            | Some data ->
-                let current =
-                  if eager_rc sys then true
-                  else if home_based sys then
-                    (* current iff every required flush has landed at home *)
-                    let home = sys.nodes.(home_of sys page) in
-                    let hp = home_page sys home page in
-                    entry.Mem.Page_table.prot <> Mem.Page_table.No_access
-                    && Proto.Vclock.leq pi.needed hp.hp_flush
-                  else
-                    entry.Mem.Page_table.prot <> Mem.Page_table.No_access
-                    && Faults.still_missing pi = []
-                in
-                (* a page being written right now may legitimately lead *)
-                if current && not entry.Mem.Page_table.dirty then (node.id, data) :: acc
-                else acc))
+            | Some entry -> (
+                match entry.Mem.Page_table.data with
+                | None -> acc
+                | Some data ->
+                    let current =
+                      if eager_rc sys then true
+                      else if home_based sys then
+                        (* current iff every required flush has landed at home *)
+                        let home = sys.nodes.(home_of sys page) in
+                        let flush_met =
+                          match Hashtbl.find_opt home.homes page with
+                          | Some hp -> Proto.Vclock.leq pi.needed hp.hp_flush
+                          | None -> Proto.Vclock.is_initial pi.needed
+                        in
+                        entry.Mem.Page_table.prot <> Mem.Page_table.No_access && flush_met
+                      else
+                        entry.Mem.Page_table.prot <> Mem.Page_table.No_access
+                        && Faults.still_missing pi = []
+                    in
+                    (* a page being written right now may legitimately lead *)
+                    if current && not entry.Mem.Page_table.dirty then (node.id, data) :: acc
+                    else acc)))
     [] sys.nodes
 
 let check_page sys page =

@@ -26,20 +26,35 @@ let costs_json (c : Machine.Costs.t) =
       ("coproc_dispatch", f c.coproc_dispatch);
     ]
 
-let config_json (cfg : Config.t) =
+(* Chaos-related fields appear in the document only when fault injection is
+   on: a fault-free run's report stays byte-identical to the pre-chaos
+   schema, which the regression gate asserts. *)
+
+let chaos_json (ch : Machine.Chaos.params) =
   Obj
     [
-      ("protocol", String (String.lowercase_ascii (Config.protocol_name cfg.protocol)));
-      ("nprocs", Int cfg.nprocs);
-      ("page_words", Int cfg.page_words);
-      ("home_policy", String (Config.home_policy_name cfg.home_policy));
-      ("gc_threshold_bytes", Int cfg.gc_threshold_bytes);
-      ("coproc_locks", Bool cfg.coproc_locks);
-      ("au_combine_words", Int cfg.au_combine_words);
-      ("home_migration", Bool cfg.home_migration);
-      ("seed", Int cfg.seed);
-      ("costs", costs_json cfg.costs);
+      ("drop_rate", f ch.drop_rate);
+      ("dup_rate", f ch.dup_rate);
+      ("jitter", f ch.jitter);
+      ("straggler", f ch.straggler);
+      ("fault_seed", Int ch.fault_seed);
     ]
+
+let config_json (cfg : Config.t) =
+  Obj
+    ([
+       ("protocol", String (String.lowercase_ascii (Config.protocol_name cfg.protocol)));
+       ("nprocs", Int cfg.nprocs);
+       ("page_words", Int cfg.page_words);
+       ("home_policy", String (Config.home_policy_name cfg.home_policy));
+       ("gc_threshold_bytes", Int cfg.gc_threshold_bytes);
+       ("coproc_locks", Bool cfg.coproc_locks);
+       ("au_combine_words", Int cfg.au_combine_words);
+       ("home_migration", Bool cfg.home_migration);
+       ("seed", Int cfg.seed);
+       ("costs", costs_json cfg.costs);
+     ]
+    @ if Config.chaos_enabled cfg then [ ("chaos", chaos_json cfg.chaos) ] else [])
 
 let breakdown_json (b : Stats.breakdown) =
   Obj
@@ -52,37 +67,69 @@ let breakdown_json (b : Stats.breakdown) =
       ("gc", f b.gc);
     ]
 
-let counters_json (c : Stats.counters) =
+let counters_json ~chaos (c : Stats.counters) =
   Obj
-    [
-      ("read_misses", Int c.read_misses);
-      ("write_faults", Int c.write_faults);
-      ("diffs_created", Int c.diffs_created);
-      ("diffs_applied", Int c.diffs_applied);
-      ("lock_acquires", Int c.lock_acquires);
-      ("remote_acquires", Int c.remote_acquires);
-      ("barriers", Int c.barriers);
-      ("messages", Int c.messages);
-      ("update_bytes", Int c.update_bytes);
-      ("protocol_bytes", Int c.protocol_bytes);
-      ("page_fetches", Int c.page_fetches);
-      ("gc_runs", Int c.gc_runs);
-      ("home_migrations", Int c.home_migrations);
-    ]
+    ([
+       ("read_misses", Int c.read_misses);
+       ("write_faults", Int c.write_faults);
+       ("diffs_created", Int c.diffs_created);
+       ("diffs_applied", Int c.diffs_applied);
+       ("lock_acquires", Int c.lock_acquires);
+       ("remote_acquires", Int c.remote_acquires);
+       ("barriers", Int c.barriers);
+       ("messages", Int c.messages);
+       ("update_bytes", Int c.update_bytes);
+       ("protocol_bytes", Int c.protocol_bytes);
+       ("page_fetches", Int c.page_fetches);
+       ("gc_runs", Int c.gc_runs);
+       ("home_migrations", Int c.home_migrations);
+     ]
+    @
+    if chaos then
+      [
+        ("msg_drops", Int c.msg_drops);
+        ("msg_retransmits", Int c.msg_retransmits);
+        ("msg_acks", Int c.msg_acks);
+        ("msg_dup_dropped", Int c.msg_dup_dropped);
+      ]
+    else [])
 
-let node_json (n : Runtime.node_report) =
+let node_json ~chaos (n : Runtime.node_report) =
   Obj
     [
       ("id", Int n.nr_id);
       ("elapsed_us", f n.nr_elapsed);
       ("breakdown", breakdown_json n.nr_breakdown);
-      ("counters", counters_json n.nr_counters);
+      ("counters", counters_json ~chaos n.nr_counters);
       ("mem_peak", Int n.nr_mem_peak);
       ("mem_end", Int n.nr_mem_end);
       ("epochs", List (List.map breakdown_json n.nr_epochs));
     ]
 
+let sum_counter (r : Runtime.report) field =
+  Array.fold_left (fun acc n -> acc + field n.Runtime.nr_counters) 0 r.Runtime.r_nodes
+
 let encode (r : Runtime.report) =
+  let chaos = Config.chaos_enabled r.r_config in
+  let chaos_totals =
+    if not chaos then []
+    else
+      [
+        ( "chaos",
+          Obj
+            [
+              ("msg_drops", Int (sum_counter r (fun c -> c.Stats.msg_drops)));
+              ("msg_retransmits", Int (sum_counter r (fun c -> c.Stats.msg_retransmits)));
+              ("msg_acks", Int (sum_counter r (fun c -> c.Stats.msg_acks)));
+              ("msg_dup_dropped", Int (sum_counter r (fun c -> c.Stats.msg_dup_dropped)));
+              ("mem_digest", String (Printf.sprintf "%016Lx" r.r_mem_digest));
+              ( "transport_inflight",
+                Int (match r.r_transport with Some t -> t.Runtime.tr_inflight | None -> 0) );
+              ( "transport_gave_up",
+                Int (match r.r_transport with Some t -> t.Runtime.tr_gave_up | None -> 0) );
+            ] )
+      ]
+  in
   Obj
     [
       ("schema_version", Int schema_version);
@@ -92,14 +139,15 @@ let encode (r : Runtime.report) =
       ("events", Int r.r_events);
       ( "totals",
         Obj
-          [
-            ("messages", Int (Runtime.total_messages r));
-            ("update_bytes", Int (Runtime.total_update_bytes r));
-            ("protocol_bytes", Int (Runtime.total_protocol_bytes r));
-            ("mem_peak", Int (Runtime.max_mem_peak r));
-            ("mean_compute_us", f (Runtime.mean_compute r));
-          ] );
-      ("nodes", List (Array.to_list (Array.map node_json r.r_nodes)));
+          ([
+             ("messages", Int (Runtime.total_messages r));
+             ("update_bytes", Int (Runtime.total_update_bytes r));
+             ("protocol_bytes", Int (Runtime.total_protocol_bytes r));
+             ("mem_peak", Int (Runtime.max_mem_peak r));
+             ("mean_compute_us", f (Runtime.mean_compute r));
+           ]
+          @ chaos_totals) );
+      ("nodes", List (Array.to_list (Array.map (node_json ~chaos) r.r_nodes)));
     ]
 
 let to_string r = to_string_pretty (encode r)
@@ -183,6 +231,34 @@ let check_node i j =
   let* epochs = want_list path j "epochs" in
   each (fun e -> check_breakdown (path ^ ".epochs") e) epochs
 
+(* Chaos sections are optional — present only in fault-injection runs — but
+   when present they must have the right shape. *)
+let check_chaos_config cfg =
+  match member "chaos" cfg with
+  | None -> Ok ()
+  | Some ch ->
+      let* _ = want_num "config.chaos" ch "drop_rate" in
+      let* _ = want_num "config.chaos" ch "dup_rate" in
+      let* _ = want_num "config.chaos" ch "jitter" in
+      let* _ = want_num "config.chaos" ch "straggler" in
+      let* _ = want_int "config.chaos" ch "fault_seed" in
+      Ok ()
+
+let check_chaos_totals totals =
+  match member "chaos" totals with
+  | None -> Ok ()
+  | Some ch ->
+      let* () =
+        each
+          (fun name -> Result.map ignore (want_int "totals.chaos" ch name))
+          [
+            "msg_drops"; "msg_retransmits"; "msg_acks"; "msg_dup_dropped"; "transport_inflight";
+            "transport_gave_up";
+          ]
+      in
+      let* _ = want_string "totals.chaos" ch "mem_digest" in
+      Ok ()
+
 let validate j =
   let* version = want_int "report" j "schema_version" in
   if version <> schema_version then
@@ -200,6 +276,7 @@ let validate j =
         let* _ = want_string "config" cfg "home_policy" in
         let* _ = want_int "config" cfg "seed" in
         let* _ = want_bool "config" cfg "coproc_locks" in
+        let* () = check_chaos_config cfg in
         let* _ = want_num "report" j "elapsed_us" in
         let* _ = want_int "report" j "shared_bytes" in
         let* _ = want_int "report" j "events" in
@@ -209,6 +286,7 @@ let validate j =
         let* _ = want_int "totals" totals "protocol_bytes" in
         let* _ = want_int "totals" totals "mem_peak" in
         let* _ = want_num "totals" totals "mean_compute_us" in
+        let* () = check_chaos_totals totals in
         let* nodes = want_list "report" j "nodes" in
         if List.length nodes <> nprocs then
           fail "report.nodes: %d entries but config.nprocs = %d" (List.length nodes) nprocs

@@ -8,12 +8,16 @@ type node_report = {
   nr_epochs : Stats.breakdown list;
 }
 
+type transport_report = { tr_inflight : int; tr_gave_up : int }
+
 type report = {
   r_config : Config.t;
   r_elapsed : float;
   r_nodes : node_report array;
   r_shared_bytes : int;
   r_events : int;
+  r_mem_digest : int64;
+  r_transport : transport_report option;
 }
 
 let start_process sys (node : System.node_state) app =
@@ -39,8 +43,22 @@ let start_process sys (node : System.node_state) app =
           | _ -> None);
     }
 
-let describe_stuck sys =
-  let stuck = ref [] in
+(* --- no-progress watchdog ------------------------------------------- *)
+
+(* Diagnostic dump raised inside {!System.Deadlock} when the event queue
+   drains with unfinished processes: per-node blocked state, pending home
+   fetches, lock chains, and the transport's unacknowledged/abandoned
+   packets. On a fault-free run a drained-but-stuck engine means mismatched
+   synchronization (the classic deadlock); on a chaos run it usually means
+   the transport hit its retry cap on a message somebody was waiting for. *)
+let stall_dump sys =
+  let buf = Buffer.create 256 in
+  let nprocs = System.nprocs sys in
+  let unfinished = nprocs - sys.System.finished_count in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "no-progress watchdog: event queue drained with %d of %d processes unfinished" unfinished
+       nprocs);
   Array.iter
     (fun (n : System.node_state) ->
       if not n.System.finished then begin
@@ -52,10 +70,101 @@ let describe_stuck sys =
           | Some System.Wait_gc -> "waiting for GC"
           | None -> "not blocked (runtime bug)"
         in
-        stuck := Printf.sprintf "node %d: %s" n.System.id state :: !stuck
+        Buffer.add_string buf
+          (Printf.sprintf "\n  node %d: %s since %.0f us" n.System.id state
+             n.System.block_clock)
       end)
     sys.System.nodes;
-  String.concat "; " (List.rev !stuck)
+  Array.iter
+    (fun (n : System.node_state) ->
+      let pending =
+        Hashtbl.fold
+          (fun page (hp : System.home_page) acc ->
+            match hp.System.hp_pending with
+            | [] -> acc
+            | l -> (page, List.length l) :: acc)
+          n.System.homes []
+      in
+      List.iter
+        (fun (page, k) ->
+          Buffer.add_string buf
+            (Printf.sprintf "\n  node %d: %d fetch(es) of page %d waiting for flushes at the home"
+               n.System.id k page))
+        (List.sort compare pending))
+    sys.System.nodes;
+  let locks =
+    List.sort compare (Hashtbl.fold (fun l last acc -> (l, last) :: acc) sys.System.lock_last [])
+  in
+  List.iter
+    (fun (lock, last) ->
+      let states =
+        Array.to_list sys.System.nodes
+        |> List.filter_map (fun (n : System.node_state) ->
+               match Hashtbl.find_opt n.System.locks lock with
+               | None -> None
+               | Some ls ->
+                   let flags =
+                     List.filter_map Fun.id
+                       [
+                         (if ls.System.lk_held then Some "held" else None);
+                         (if ls.System.lk_token then Some "token" else None);
+                         (if ls.System.lk_waiting then Some "acquire in flight" else None);
+                         (match ls.System.lk_waiter with
+                         | Some (w, _) -> Some (Printf.sprintf "forwards to node %d" w)
+                         | None -> None);
+                       ]
+                   in
+                   if flags = [] then None
+                   else Some (Printf.sprintf "node %d: %s" n.System.id (String.concat ", " flags)))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "\n  lock %d: manager %d, last requester %d%s" lock (lock mod nprocs)
+           last
+           (if states = [] then "" else " [" ^ String.concat "; " states ^ "]")))
+    locks;
+  (match sys.System.transport with
+  | None -> ()
+  | Some tr ->
+      Buffer.add_string buf
+        (Printf.sprintf "\n  transport: %d packet(s) unacknowledged, %d abandoned at the retry cap"
+           (Machine.Transport.inflight_count tr)
+           (Machine.Transport.gave_up_count tr));
+      List.iter
+        (fun line -> Buffer.add_string buf ("\n  " ^ line))
+        (Machine.Transport.describe_pending tr));
+  Buffer.contents buf
+
+(* --- final-memory digest -------------------------------------------- *)
+
+(* FNV-1a over the current copies of every shared page, taking the
+   lowest-numbered node's copy as the page's representative (all current
+   copies must agree — [Invariants] asserts that in paranoid runs). The
+   differential-soundness harness compares this digest between a chaos run
+   and its fault-free twin: faults may change timing and traffic, never
+   memory contents. Side-effect-free, so computing it cannot perturb the
+   report. *)
+let memory_digest sys =
+  let fnv_prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  let mix x = h := Int64.mul (Int64.logxor !h x) fnv_prime in
+  let npages = Mem.Layout.pages_for sys.System.layout sys.System.next_addr in
+  for page = 0 to npages - 1 do
+    if System.is_scratch sys page then
+      mix 0x2545F4914F6CDD1DL (* scratch: content is schedule-dependent *)
+    else
+      match Invariants.page_currents sys page with
+    | [] -> mix 0x9E3779B97F4A7C15L (* no current copy: distinct marker *)
+    | currents ->
+        let _, data =
+          List.fold_left
+            (fun ((best_id, _) as best) ((id, _) as cand) ->
+              if id < best_id then cand else best)
+            (max_int, [||]) currents
+        in
+        mix (Int64.of_int page);
+        Array.iter (fun v -> mix (Int64.bits_of_float v)) data
+  done;
+  !h
 
 let collect sys =
   let nodes =
@@ -79,6 +188,16 @@ let collect sys =
     r_nodes = nodes;
     r_shared_bytes = System.shared_bytes sys;
     r_events = Sim.Engine.executed sys.System.engine;
+    r_mem_digest = memory_digest sys;
+    r_transport =
+      (match sys.System.transport with
+      | None -> None
+      | Some tr ->
+          Some
+            {
+              tr_inflight = Machine.Transport.inflight_count tr;
+              tr_gave_up = Machine.Transport.gave_up_count tr;
+            });
   }
 
 let run ?trace ?sink cfg app =
@@ -90,8 +209,25 @@ let run ?trace ?sink cfg app =
       Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))
     sys.System.nodes;
   ignore (Sim.Engine.run sys.System.engine);
-  if sys.System.finished_count <> System.nprocs sys then
-    raise (System.Deadlock (describe_stuck sys));
+  if sys.System.finished_count <> System.nprocs sys then begin
+    (* The watchdog: a quiescent engine with unfinished processes can never
+       make progress again. Emit a trace event, then fail loudly with the
+       full diagnosis instead of silently returning a truncated report. *)
+    let blocked =
+      Array.fold_left
+        (fun acc (n : System.node_state) -> if n.System.finished then acc else acc + 1)
+        0 sys.System.nodes
+    in
+    let inflight =
+      match sys.System.transport with
+      | Some tr -> Machine.Transport.inflight_count tr
+      | None -> 0
+    in
+    if System.observing sys then
+      System.event_at sys ~node:0 ~time:(System.now sys)
+        (Obs.Trace.Watchdog_stall { blocked; inflight });
+    raise (System.Deadlock (stall_dump sys))
+  end;
   collect sys
 
 let mean_compute r =

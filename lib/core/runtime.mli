@@ -17,12 +17,22 @@ type node_report = {
   nr_epochs : Stats.breakdown list;  (** Per-barrier-epoch breakdowns. *)
 }
 
+(** Transport summary of a chaos run (unacknowledged and abandoned packets
+    at exit; both zero on a successful run unless the tail acks were
+    themselves lost, which is benign once every process finished). *)
+type transport_report = { tr_inflight : int; tr_gave_up : int }
+
 type report = {
   r_config : Config.t;
   r_elapsed : float;  (** Parallel execution time = max node elapsed. *)
   r_nodes : node_report array;
   r_shared_bytes : int;  (** Total shared (application) memory. *)
   r_events : int;  (** Simulation events executed (diagnostic). *)
+  r_mem_digest : int64;
+      (** FNV-1a digest of the final shared memory (current page copies).
+          The differential-soundness property: a chaos run's digest must
+          equal its fault-free twin's. *)
+  r_transport : transport_report option;  (** [Some] iff chaos was enabled. *)
 }
 
 (** Total computation time across nodes divided by node count: with one

@@ -46,6 +46,10 @@ type counters = {
   mutable page_fetches : int;
   mutable gc_runs : int;
   mutable home_migrations : int;
+  mutable msg_drops : int;
+  mutable msg_retransmits : int;
+  mutable msg_acks : int;
+  mutable msg_dup_dropped : int;
 }
 
 let counters_copy c =
@@ -63,6 +67,10 @@ let counters_copy c =
     page_fetches = c.page_fetches;
     gc_runs = c.gc_runs;
     home_migrations = c.home_migrations;
+    msg_drops = c.msg_drops;
+    msg_retransmits = c.msg_retransmits;
+    msg_acks = c.msg_acks;
+    msg_dup_dropped = c.msg_dup_dropped;
   }
 
 let counters_sub a b =
@@ -80,6 +88,10 @@ let counters_sub a b =
     page_fetches = a.page_fetches - b.page_fetches;
     gc_runs = a.gc_runs - b.gc_runs;
     home_migrations = a.home_migrations - b.home_migrations;
+    msg_drops = a.msg_drops - b.msg_drops;
+    msg_retransmits = a.msg_retransmits - b.msg_retransmits;
+    msg_acks = a.msg_acks - b.msg_acks;
+    msg_dup_dropped = a.msg_dup_dropped - b.msg_dup_dropped;
   }
 
 let counters_zero () =
@@ -97,6 +109,10 @@ let counters_zero () =
     page_fetches = 0;
     gc_runs = 0;
     home_migrations = 0;
+    msg_drops = 0;
+    msg_retransmits = 0;
+    msg_acks = 0;
+    msg_dup_dropped = 0;
   }
 
 type t = {

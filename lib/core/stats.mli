@@ -39,6 +39,10 @@ type counters = {
   mutable page_fetches : int;
   mutable gc_runs : int;
   mutable home_migrations : int;  (** Pages re-homed to this node. *)
+  mutable msg_drops : int;  (** Chaos: copies this node sent that were lost. *)
+  mutable msg_retransmits : int;  (** Transport retransmissions by this node. *)
+  mutable msg_acks : int;  (** Transport acknowledgements sent by this node. *)
+  mutable msg_dup_dropped : int;  (** Duplicates this node received and discarded. *)
 }
 
 val counters_zero : unit -> counters

@@ -54,6 +54,10 @@ type lock_state = {
 
 type node_state = {
   id : int;
+  slowdown : float;
+      (* chaos straggler multiplier on compute-processor work; exactly 1.0
+         when fault injection is off, so charging [dt *. slowdown] is
+         bit-identical to charging [dt] *)
   mach : Machine.Node.t;
   pt : Mem.Page_table.t;
   mutable pinfo : page_info option array;
@@ -112,6 +116,9 @@ type t = {
          registered when the serving node snapshots the page, so no push
          can slip between the snapshot and the registration. *)
   roots : (string, int) Hashtbl.t;  (* named shared allocations *)
+  scratch_tbl : (int, unit) Hashtbl.t;
+      (* pages of allocations marked [~scratch]: schedule-dependent state
+         (e.g. task-queue cursors) excluded from the result digest *)
   lock_last : (int, int) Hashtbl.t;  (* manager state: lock -> last requester *)
   channels : (int * int, float) Hashtbl.t;  (* (src,dst) -> last arrival *)
   barrier : barrier_state;
@@ -124,6 +131,10 @@ type t = {
       (* legacy string tracer: fed by rendering the typed events *)
   mutable sink : Obs.Trace.sink option;  (* typed trace-event sink *)
   mutable finished_count : int;
+  chaos : Machine.Chaos.t option;  (* fault plan; None = fault-free run *)
+  mutable transport : Machine.Transport.t option;
+      (* reliable transport over the chaotic network; installed iff [chaos]
+         is, so the fault-free send path is untouched *)
 }
 
 (* The effects through which application processes enter the runtime. Only
@@ -138,12 +149,98 @@ exception Deadlock of string
 
 let header_bytes = 32
 
+(* ------------------------------------------------------------------ *)
+(* Structured observability (declared before [create] so the transport
+   notify callback can emit events)                                    *)
+
+(* Whether anyone is listening; hot paths use this to skip constructing
+   event payloads when tracing is off. *)
+let observing t = t.sink <> None || t.trace <> None
+
+(* Emit one typed trace event attributed to [node] at time [time]. The
+   typed sink stores it as-is; the legacy string callback receives the
+   rendered legacy line (kinds with no legacy rendering are skipped), so
+   the old [?trace] interface is a thin adapter over the typed stream. *)
+let event_at t ~node ~time kind =
+  (match t.sink with
+  | Some sink -> Obs.Trace.emit sink { Obs.Trace.time; node; kind }
+  | None -> ());
+  match t.trace with
+  | Some emit -> (
+      match Obs.Trace.render kind with
+      | Some line -> emit time (Printf.sprintf "[node %d] %s" node line)
+      | None -> ())
+  | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Transport accounting: everything the reliable transport does (drops,
+   retransmissions, acks, receiver dedup) lands here, where it is charged
+   to per-node counters and traced. Retransmissions and acks count as
+   messages with protocol bytes — reliability is protocol overhead. *)
+
+let blocked_count t =
+  Array.fold_left (fun acc n -> if n.finished then acc else acc + 1) 0 t.nodes
+
+let transport_notify t ~time (n : Machine.Transport.notice) =
+  match n with
+  | Machine.Transport.Dropped { src; dst; seq; bytes; ack } ->
+      (* Attributed to the copy's sender: the payload source, or the
+         payload destination for a lost acknowledgement. *)
+      let sender = if ack then dst else src in
+      let peer = if ack then src else dst in
+      let c = t.nodes.(sender).stats.Stats.c in
+      c.Stats.msg_drops <- c.Stats.msg_drops + 1;
+      if observing t then
+        event_at t ~node:sender ~time (Obs.Trace.Msg_drop { dst = peer; seq; bytes; ack })
+  | Machine.Transport.Duplicated _ ->
+      (* The observable effect is the receiver-side [Dup_dropped]. *)
+      ()
+  | Machine.Transport.Retransmit { src; dst; seq; retries; bytes } ->
+      let c = t.nodes.(src).stats.Stats.c in
+      c.Stats.msg_retransmits <- c.Stats.msg_retransmits + 1;
+      c.Stats.messages <- c.Stats.messages + 1;
+      c.Stats.protocol_bytes <-
+        c.Stats.protocol_bytes + bytes + Machine.Transport.seq_bytes;
+      if observing t then
+        event_at t ~node:src ~time (Obs.Trace.Msg_retransmit { dst; seq; retries })
+  | Machine.Transport.Dup_dropped { src; dst; seq } ->
+      let c = t.nodes.(dst).stats.Stats.c in
+      c.Stats.msg_dup_dropped <- c.Stats.msg_dup_dropped + 1;
+      if observing t then
+        event_at t ~node:dst ~time (Obs.Trace.Msg_duplicate_dropped { src; seq })
+  | Machine.Transport.Ack_sent { src; dst; upto } ->
+      (* The ack travels dst -> src; the receiver pays for it. *)
+      let c = t.nodes.(dst).stats.Stats.c in
+      c.Stats.msg_acks <- c.Stats.msg_acks + 1;
+      c.Stats.messages <- c.Stats.messages + 1;
+      c.Stats.protocol_bytes <- c.Stats.protocol_bytes + Machine.Transport.ack_bytes;
+      if observing t then event_at t ~node:dst ~time (Obs.Trace.Msg_ack { dst = src; upto })
+  | Machine.Transport.Gave_up { src; dst = _; seq = _; retries = _ } ->
+      (* Retry cap breached: the payload will never arrive. Surface it in
+         the trace immediately; the runtime watchdog turns the resulting
+         quiescence into a Deadlock with the full dump. *)
+      let inflight =
+        match t.transport with
+        | Some tr -> Machine.Transport.inflight_count tr
+        | None -> 0
+      in
+      if observing t then
+        event_at t ~node:src ~time
+          (Obs.Trace.Watchdog_stall { blocked = blocked_count t; inflight })
+
 let create (cfg : Config.t) =
   let nprocs = cfg.Config.nprocs in
   let layout = Mem.Layout.create ~page_words:cfg.Config.page_words in
+  let chaos =
+    if Config.chaos_enabled cfg then
+      Some (Machine.Chaos.create cfg.Config.chaos ~nprocs)
+    else None
+  in
   let node id =
     {
       id;
+      slowdown =
+        (match chaos with Some ch -> Machine.Chaos.slowdown ch ~node:id | None -> 1.0);
       mach = Machine.Node.create id;
       pt = Mem.Page_table.create layout;
       pinfo = [||];
@@ -169,15 +266,17 @@ let create (cfg : Config.t) =
       start_counters = Stats.counters_zero ();
     }
   in
-  {
-    cfg;
-    layout;
-    engine = Sim.Engine.create ();
-    net = Machine.Network.create ~costs:cfg.Config.costs ~nprocs;
-    nodes = Array.init nprocs node;
+  let t =
+    {
+      cfg;
+      layout;
+      engine = Sim.Engine.create ();
+      net = Machine.Network.create ~costs:cfg.Config.costs ~nprocs;
+      nodes = Array.init nprocs node;
     next_addr = 0;
     home_tbl = Hashtbl.create 256;
     alloc_tbl = Hashtbl.create 256;
+    scratch_tbl = Hashtbl.create 16;
     keeper_tbl = Hashtbl.create 256;
     copyset_tbl = Hashtbl.create 256;
     roots = Hashtbl.create 16;
@@ -185,13 +284,25 @@ let create (cfg : Config.t) =
     channels = Hashtbl.create 64;
     barrier =
       { bar_arrived = 0; bar_queue = []; bar_mem_high = false; bar_epoch = 0; bar_released = 0 };
-    migration_prev = Hashtbl.create 64;
-    gc_nodes_done = 0;
-    gc_on_done = Hashtbl.create 8;
-    trace = None;
-    sink = None;
-    finished_count = 0;
-  }
+      migration_prev = Hashtbl.create 64;
+      gc_nodes_done = 0;
+      gc_on_done = Hashtbl.create 8;
+      trace = None;
+      sink = None;
+      finished_count = 0;
+      chaos;
+      transport = None;
+    }
+  in
+  (match chaos with
+  | Some ch ->
+      t.transport <-
+        Some
+          (Machine.Transport.create ~engine:t.engine ~net:t.net ~chaos:ch
+             ~notify:(fun ~time n -> transport_notify t ~time n)
+             ())
+  | None -> ());
+  t
 
 let nprocs t = t.cfg.Config.nprocs
 
@@ -214,26 +325,7 @@ let homeless_lazy t =
 let now t = Sim.Engine.now t.engine
 
 (* ------------------------------------------------------------------ *)
-(* Structured observability                                            *)
-
-(* Whether anyone is listening; hot paths use this to skip constructing
-   event payloads when tracing is off. *)
-let observing t = t.sink <> None || t.trace <> None
-
-(* Emit one typed trace event attributed to [node] at time [time]. The
-   typed sink stores it as-is; the legacy string callback receives the
-   rendered legacy line (kinds with no legacy rendering are skipped), so
-   the old [?trace] interface is a thin adapter over the typed stream. *)
-let event_at t ~node ~time kind =
-  (match t.sink with
-  | Some sink -> Obs.Trace.emit sink { Obs.Trace.time; node; kind }
-  | None -> ());
-  match t.trace with
-  | Some emit -> (
-      match Obs.Trace.render kind with
-      | Some line -> emit time (Printf.sprintf "[node %d] %s" node line)
-      | None -> ())
-  | None -> ()
+(* Structured observability ([observing]/[event_at] live above [create]) *)
 
 (* Emission at the node's current virtual clock (the common case). *)
 let event t node kind =
@@ -302,7 +394,12 @@ let home_page t node page =
 (* ------------------------------------------------------------------ *)
 (* Time charging                                                      *)
 
+(* All compute-processor work stretches by the node's chaos straggler
+   multiplier ([1.0], hence bit-exact identity, on fault-free runs). The
+   communication co-processor is not slowed: it is dedicated hardware. *)
+
 let charge_compute node dt =
+  let dt = dt *. node.slowdown in
   Machine.Node.advance node.mach dt;
   node.stats.Stats.b.Stats.compute <- node.stats.Stats.b.Stats.compute +. dt
 
@@ -310,6 +407,7 @@ let charge_compute node dt =
    write-notice handling on a lock grant, interrupt service); crediting it to
    [wait_services] keeps the wait buckets from double-counting it. *)
 let charge_protocol node dt =
+  let dt = dt *. node.slowdown in
   Machine.Node.advance node.mach dt;
   let b = node.stats.Stats.b in
   if node.in_gc then b.Stats.gc <- b.Stats.gc +. dt
@@ -317,6 +415,7 @@ let charge_protocol node dt =
   if node.blocked <> None then node.wait_services <- node.wait_services +. dt
 
 let charge_gc node dt =
+  let dt = dt *. node.slowdown in
   Machine.Node.advance node.mach dt;
   node.stats.Stats.b.Stats.gc <- node.stats.Stats.b.Stats.gc +. dt;
   if node.blocked <> None then node.wait_services <- node.wait_services +. dt
@@ -339,23 +438,40 @@ let send t ~src ~dst ~at ~bytes ~update handler =
     if observing t then
       event_at t ~node:src.id ~time:at (Obs.Trace.Msg_send { dst; bytes; update })
   end;
-  let transfer = Machine.Network.transfer_time t.net ~src:src.id ~dst ~bytes in
-  let arrival = at +. transfer in
-  let arrival =
-    if src.id = dst then arrival
-    else begin
-      let key = (src.id, dst) in
-      let last = try Hashtbl.find t.channels key with Not_found -> 0. in
-      let arrival = if arrival <= last then last +. 1e-6 else arrival in
-      Hashtbl.replace t.channels key arrival;
-      arrival
-    end
-  in
-  let arrival = Float.max arrival (now t) in
-  Sim.Engine.schedule t.engine ~at:arrival (fun () ->
-      if src.id <> dst && observing t then
-        event_at t ~node:dst ~time:arrival (Obs.Trace.Msg_recv { src = src.id; bytes; update });
-      handler arrival)
+  match t.transport with
+  | Some tr when src.id <> dst ->
+      (* Chaos run: hand the payload to the reliable transport, which owns
+         sequencing, dedup, the per-link FIFO clamp and retransmission. The
+         sequence header is protocol overhead on the wire. *)
+      c.Stats.protocol_bytes <- c.Stats.protocol_bytes + Machine.Transport.seq_bytes;
+      Machine.Transport.send tr ~src:src.id ~dst
+        ~at:(Float.max at (now t))
+        ~bytes
+        (fun arrival ->
+          if observing t then
+            event_at t ~node:dst ~time:arrival
+              (Obs.Trace.Msg_recv { src = src.id; bytes; update });
+          handler arrival)
+  | _ ->
+      (* Fault-free (or loopback) fast path: exactly the pre-chaos code. *)
+      let transfer = Machine.Network.transfer_time t.net ~src:src.id ~dst ~bytes in
+      let arrival = at +. transfer in
+      let arrival =
+        if src.id = dst then arrival
+        else begin
+          let key = (src.id, dst) in
+          let last = try Hashtbl.find t.channels key with Not_found -> 0. in
+          let arrival = if arrival <= last then last +. 1e-6 else arrival in
+          Hashtbl.replace t.channels key arrival;
+          arrival
+        end
+      in
+      let arrival = Float.max arrival (now t) in
+      Sim.Engine.schedule t.engine ~at:arrival (fun () ->
+          if src.id <> dst && observing t then
+            event_at t ~node:dst ~time:arrival
+              (Obs.Trace.Msg_recv { src = src.id; bytes; update });
+          handler arrival)
 
 (* ------------------------------------------------------------------ *)
 (* Request service                                                    *)
@@ -365,11 +481,12 @@ let send t ~src ~dst ~at ~bytes ~update handler =
    service" overhead). Returns the completion time for the reply. *)
 let serve_compute t node ~arrival ~cost =
   let c = costs t in
-  let total = c.Machine.Costs.receive_interrupt +. cost in
+  let interrupt = c.Machine.Costs.receive_interrupt *. node.slowdown in
+  let cost = cost *. node.slowdown in
+  let total = interrupt +. cost in
   node.stats.Stats.b.Stats.protocol <- node.stats.Stats.b.Stats.protocol +. total;
   if node.blocked <> None then node.wait_services <- node.wait_services +. total;
-  Machine.Node.interrupt_service node.mach ~interrupt:c.Machine.Costs.receive_interrupt ~arrival
-    ~cost
+  Machine.Node.interrupt_service node.mach ~interrupt ~arrival ~cost
 
 (* Service on the communication co-processor: FIFO on its own timeline, no
    compute-processor impact. *)
@@ -469,7 +586,7 @@ let release_interval node (iv : Proto.Interval.t) =
 (* Allocate [words] of shared memory, page-aligned, with an optional
    per-page home map. Registers page allocator (copyset seed for homeless
    protocols) and home (home-based protocols). Returns the base address. *)
-let malloc t node ?name ?home_map words =
+let malloc t node ?name ?home_map ?(scratch = false) words =
   if words <= 0 then invalid_arg "malloc: words must be positive";
   let base_page = Mem.Layout.pages_for t.layout t.next_addr in
   let base = Mem.Layout.base_of_page t.layout base_page in
@@ -477,6 +594,7 @@ let malloc t node ?name ?home_map words =
   for i = 0 to npages - 1 do
     let page = base_page + i in
     Hashtbl.replace t.alloc_tbl page node.id;
+    if scratch then Hashtbl.replace t.scratch_tbl page ();
     let home =
       match home_map with
       | Some f -> f i
@@ -491,6 +609,8 @@ let malloc t node ?name ?home_map words =
   t.next_addr <- base + words;
   (match name with Some n -> Hashtbl.replace t.roots n base | None -> ());
   base
+
+let is_scratch t page = Hashtbl.mem t.scratch_tbl page
 
 let root t name =
   match Hashtbl.find_opt t.roots name with

@@ -52,6 +52,9 @@ type lock_state = {
 
 type node_state = {
   id : int;
+  slowdown : float;
+      (** Chaos straggler multiplier on compute-processor work; exactly
+          [1.0] on fault-free runs. *)
   mach : Machine.Node.t;
   pt : Mem.Page_table.t;
   mutable pinfo : page_info option array;
@@ -97,6 +100,7 @@ type t = {
   keeper_tbl : (int, int) Hashtbl.t;
   copyset_tbl : (int, int array) Hashtbl.t;
   roots : (string, int) Hashtbl.t;
+  scratch_tbl : (int, unit) Hashtbl.t;
   lock_last : (int, int) Hashtbl.t;
   channels : (int * int, float) Hashtbl.t;
   barrier : barrier_state;
@@ -106,6 +110,10 @@ type t = {
   mutable trace : (float -> string -> unit) option;
   mutable sink : Obs.Trace.sink option;
   mutable finished_count : int;
+  chaos : Machine.Chaos.t option;  (** Fault plan; [None] = fault-free run. *)
+  mutable transport : Machine.Transport.t option;
+      (** Reliable transport over the chaotic network; installed iff [chaos]
+          is, so fault-free runs use the pre-chaos send path unchanged. *)
 }
 
 (** The effects through which application processes enter the runtime; only
@@ -247,7 +255,12 @@ val release_interval : node_state -> Proto.Interval.t -> unit
 (** {1 Allocation} *)
 
 (** Allocate page-aligned shared memory; see {!Api.malloc}. *)
-val malloc : t -> node_state -> ?name:string -> ?home_map:(int -> int) -> int -> int
+val malloc :
+  t -> node_state -> ?name:string -> ?home_map:(int -> int) -> ?scratch:bool -> int -> int
+
+(** Whether the page belongs to a [~scratch] allocation (excluded from the
+    final-memory digest: its contents are schedule-dependent by design). *)
+val is_scratch : t -> int -> bool
 
 val root : t -> string -> int
 

@@ -12,12 +12,13 @@ type t = {
   scale : Apps.Registry.scale;
   verify : bool;
   sink : Obs.Trace.sink option;
+  chaos : Machine.Chaos.params;
   cache : (key, Svm.Runtime.report) Hashtbl.t;
   mutable progress : (string -> unit) option;
 }
 
-let create ?(verify = true) ?sink ~scale () =
-  { scale; verify; sink; cache = Hashtbl.create 64; progress = None }
+let create ?(verify = true) ?sink ?(chaos = Machine.Chaos.none) ~scale () =
+  { scale; verify; sink; chaos; cache = Hashtbl.create 64; progress = None }
 
 let on_progress t f = t.progress <- Some f
 
@@ -34,7 +35,7 @@ let get t (app : Apps.Registry.t) proto np =
             (Printf.sprintf "running %s / %s / %d nodes..." app.Apps.Registry.name
                (Svm.Config.protocol_name proto) np)
       | None -> ());
-      let cfg = Svm.Config.make ~nprocs:np proto in
+      let cfg = Svm.Config.make ~nprocs:np ~chaos:t.chaos proto in
       let r = Svm.Runtime.run ?sink:t.sink cfg (app.Apps.Registry.body ~verify:t.verify) in
       Hashtbl.replace t.cache key r;
       r

@@ -8,8 +8,16 @@ type t
 
 (** [create ~scale ()] builds an empty matrix; [verify] (default true)
     checks every run against its sequential reference. [sink] receives the
-    typed trace events of every uncached run (see {!Obs.Trace}). *)
-val create : ?verify:bool -> ?sink:Obs.Trace.sink -> scale:Apps.Registry.scale -> unit -> t
+    typed trace events of every uncached run (see {!Obs.Trace}). [chaos]
+    (default {!Machine.Chaos.none}) applies one fault-injection plan to
+    every cell. *)
+val create :
+  ?verify:bool ->
+  ?sink:Obs.Trace.sink ->
+  ?chaos:Machine.Chaos.params ->
+  scale:Apps.Registry.scale ->
+  unit ->
+  t
 
 (** Install a progress callback (called before each uncached run). *)
 val on_progress : t -> (string -> unit) -> unit

@@ -1,0 +1,88 @@
+(* Differential soundness under fault injection.
+
+   The property: chaos (drops, duplicates, jitter, stragglers) may change
+   timing and traffic, but never the computed result. For every protocol x
+   application cell we run once fault-free and once per fault seed, and
+   require (a) the application's own verification against its sequential
+   reference to pass, and (b) the final shared-memory digest
+   ({!Svm.Runtime.report.r_mem_digest}) to be bit-identical to the
+   fault-free run's. Any divergence is a lost or misordered update that
+   slipped past the transport's reliability layer. *)
+
+type row = {
+  s_app : string;
+  s_proto : Svm.Config.protocol;
+  s_fault_seed : int;
+  s_ok : bool;
+  s_digest : int64;
+  s_expected : int64;
+  s_slowdown : float;  (** elapsed(chaos) / elapsed(fault-free) *)
+  s_drops : int;
+  s_retransmits : int;
+}
+
+let default_params ~fault_seed =
+  {
+    Machine.Chaos.drop_rate = 0.02;
+    dup_rate = 0.01;
+    jitter = 5.0;
+    straggler = 1.25;
+    fault_seed;
+  }
+
+let protocols =
+  List.filter_map Svm.Config.protocol_of_string Svm.Config.protocol_strings
+
+let sum_counter (r : Svm.Runtime.report) f =
+  Array.fold_left (fun acc n -> acc + f n.Svm.Runtime.nr_counters) 0 r.Svm.Runtime.r_nodes
+
+let run_one ~nprocs ~chaos proto (app : Apps.Registry.t) =
+  let cfg = Svm.Config.make ~nprocs ~chaos proto in
+  Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true)
+
+let sweep ?(scale = Apps.Registry.Test) ?(nprocs = 4) ?(fault_seeds = [ 1; 2; 3 ]) ?params ()
+    =
+  let params = match params with Some p -> p | None -> default_params ~fault_seed:0 in
+  let apps =
+    List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
+  in
+  List.concat_map
+    (fun proto ->
+      List.concat_map
+        (fun (app : Apps.Registry.t) ->
+          let clean = run_one ~nprocs ~chaos:Machine.Chaos.none proto app in
+          let expected = clean.Svm.Runtime.r_mem_digest in
+          List.map
+            (fun fault_seed ->
+              let chaos = { params with Machine.Chaos.fault_seed } in
+              let r = run_one ~nprocs ~chaos proto app in
+              {
+                s_app = app.Apps.Registry.name;
+                s_proto = proto;
+                s_fault_seed = fault_seed;
+                s_ok = Int64.equal r.Svm.Runtime.r_mem_digest expected;
+                s_digest = r.Svm.Runtime.r_mem_digest;
+                s_expected = expected;
+                s_slowdown = r.Svm.Runtime.r_elapsed /. clean.Svm.Runtime.r_elapsed;
+                s_drops = sum_counter r (fun c -> c.Svm.Stats.msg_drops);
+                s_retransmits = sum_counter r (fun c -> c.Svm.Stats.msg_retransmits);
+              })
+            fault_seeds)
+        apps)
+    protocols
+
+let report ppf ?scale ?nprocs ?fault_seeds ?params () =
+  let rows = sweep ?scale ?nprocs ?fault_seeds ?params () in
+  Format.fprintf ppf "@.=== Chaos soak: differential soundness ===@.@.";
+  Format.fprintf ppf "%-10s %-6s %5s  %8s %8s %9s  %s@." "app" "proto" "seed" "drops"
+    "rexmits" "slowdown" "digest";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-6s %5d  %8d %8d %8.2fx  %016Lx %s@." r.s_app
+        (String.lowercase_ascii (Svm.Config.protocol_name r.s_proto))
+        r.s_fault_seed r.s_drops r.s_retransmits r.s_slowdown r.s_digest
+        (if r.s_ok then "ok" else Printf.sprintf "MISMATCH (expected %016Lx)" r.s_expected))
+    rows;
+  let bad = List.filter (fun r -> not r.s_ok) rows in
+  Format.fprintf ppf "@.%d cell(s), %d divergence(s)@." (List.length rows) (List.length bad);
+  bad = []

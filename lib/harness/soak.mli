@@ -1,0 +1,44 @@
+(** Differential soundness under fault injection.
+
+    Chaos may change timing and traffic, never results: every
+    protocol x application cell is run fault-free and once per fault seed
+    (each run also self-verifies against its sequential reference), and the
+    final shared-memory digests must be bit-identical. *)
+
+type row = {
+  s_app : string;
+  s_proto : Svm.Config.protocol;
+  s_fault_seed : int;
+  s_ok : bool;  (** digest matches the fault-free run *)
+  s_digest : int64;
+  s_expected : int64;
+  s_slowdown : float;  (** elapsed(chaos) / elapsed(fault-free) *)
+  s_drops : int;
+  s_retransmits : int;
+}
+
+(** The fault plan used when [?params] is omitted: 2% drops, 1% duplicates,
+    5 us jitter, 1.25x straggler cap. *)
+val default_params : fault_seed:int -> Machine.Chaos.params
+
+(** Every protocol x registered application (at [scale], default [Test])
+    x fault seed (default [[1; 2; 3]]), on [nprocs] nodes (default 4).
+    [params.fault_seed] is overridden per row. *)
+val sweep :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?fault_seeds:int list ->
+  ?params:Machine.Chaos.params ->
+  unit ->
+  row list
+
+(** Run {!sweep}, print one line per row plus a summary, and return whether
+    every cell matched. *)
+val report :
+  Format.formatter ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?fault_seeds:int list ->
+  ?params:Machine.Chaos.params ->
+  unit ->
+  bool

@@ -1,0 +1,105 @@
+(* Seeded fault plan for network chaos and CPU stragglers. "Fault" here
+   means an injected infrastructure failure (lost/duplicated/late message,
+   slow CPU) — page faults, the SVM access-detection mechanism, live in
+   [Svm.Faults].
+
+   Determinism: every directed link (src, dst) draws from its own splitmix64
+   stream seeded as [mix(fault_seed, src * nprocs + dst)], and each node's
+   slowdown comes from a dedicated stream, so verdicts depend only on the
+   fault seed and the sequence of sends on that one link. *)
+
+type params = {
+  drop_rate : float;
+  dup_rate : float;
+  jitter : float;
+  straggler : float;
+  fault_seed : int;
+}
+
+let none = { drop_rate = 0.; dup_rate = 0.; jitter = 0.; straggler = 1.0; fault_seed = 0 }
+
+let enabled p =
+  p.drop_rate > 0. || p.dup_rate > 0. || p.jitter > 0. || p.straggler > 1.0
+
+let validate p =
+  let prob name x =
+    if Float.is_nan x || x < 0. || x > 1. then
+      Error (Printf.sprintf "%s must be a probability in [0, 1] (got %g)" name x)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "drop rate" p.drop_rate in
+  let* () = prob "duplication rate" p.dup_rate in
+  let* () =
+    if Float.is_nan p.jitter || p.jitter < 0. then
+      Error (Printf.sprintf "jitter must be non-negative (got %g)" p.jitter)
+    else Ok ()
+  in
+  if Float.is_nan p.straggler || p.straggler < 1.0 then
+    Error (Printf.sprintf "straggler multiplier must be >= 1.0 (got %g)" p.straggler)
+  else Ok ()
+
+(* One spike in [spike_one_in] jittered messages lands [spike_factor] times
+   further out: a crude heavy tail (congestion burst, route flap). *)
+let spike_one_in = 64
+
+let spike_factor = 8.0
+
+type t = {
+  p : params;
+  nprocs : int;
+  links : (int, Sim.Rng.t) Hashtbl.t;  (* src * nprocs + dst -> stream *)
+  slowdowns : float array;  (* per-node CPU multiplier, drawn at create *)
+}
+
+let params t = t.p
+
+let enabled_t t = enabled t.p
+
+let create p ~nprocs =
+  (match validate p with Ok () -> () | Error e -> invalid_arg ("Chaos.create: " ^ e));
+  if nprocs <= 0 then invalid_arg "Chaos.create: nprocs must be positive";
+  let slowdowns =
+    if p.straggler = 1.0 then Array.make nprocs 1.0
+    else begin
+      let rng = Sim.Rng.create ~seed:(p.fault_seed + 0x5707) in
+      Array.init nprocs (fun _ -> 1.0 +. Sim.Rng.float rng (p.straggler -. 1.0))
+    end
+  in
+  { p; nprocs; links = Hashtbl.create 64; slowdowns }
+
+let link_rng t ~src ~dst =
+  let key = (src * t.nprocs) + dst in
+  match Hashtbl.find_opt t.links key with
+  | Some rng -> rng
+  | None ->
+      let rng = Sim.Rng.create ~seed:((t.p.fault_seed * 0x10001) + key) in
+      Hashtbl.replace t.links key rng;
+      rng
+
+type verdict = {
+  drop : bool;
+  duplicate : bool;
+  delay : float;
+  dup_delay : float;
+}
+
+let one_delay t rng =
+  if t.p.jitter = 0. then 0.
+  else begin
+    let d = Sim.Rng.float rng t.p.jitter in
+    if Sim.Rng.int rng spike_one_in = 0 then d *. spike_factor else d
+  end
+
+let judge t ~src ~dst =
+  let rng = link_rng t ~src ~dst in
+  (* Fixed draw order so the stream stays aligned across outcomes. *)
+  let drop = t.p.drop_rate > 0. && Sim.Rng.float rng 1.0 < t.p.drop_rate in
+  let duplicate = t.p.dup_rate > 0. && Sim.Rng.float rng 1.0 < t.p.dup_rate in
+  let delay = one_delay t rng in
+  let dup_delay = one_delay t rng in
+  { drop; duplicate; delay; dup_delay }
+
+let slowdown t ~node = t.slowdowns.(node)
+
+let max_delay t = t.p.jitter *. spike_factor

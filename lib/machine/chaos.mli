@@ -1,0 +1,67 @@
+(** Seeded network/CPU fault injection ("chaos"), as opposed to the *page*
+    faults handled by the SVM protocol layer ([Svm.Faults]).
+
+    A {!t} is a deterministic fault plan derived from [params.fault_seed]:
+    each directed link [(src, dst)] owns an independent {!Sim.Rng} stream,
+    and each node draws one CPU-slowdown multiplier up front, so the set of
+    injected faults depends only on the seed and the order of sends on each
+    link — never on wall-clock state or on traffic of other links.
+
+    With {!none} (all rates zero, straggler 1.0) the plan is {e inert}:
+    {!enabled} is [false] and callers are expected to bypass it entirely,
+    keeping the fault-free fast path byte-identical to a build without the
+    chaos layer. *)
+
+type params = {
+  drop_rate : float;  (** Probability a message copy is lost, per link hop. *)
+  dup_rate : float;  (** Probability a message is duplicated in flight. *)
+  jitter : float;
+      (** Extra latency: uniform in [0, jitter) microseconds, with a 1/64
+          chance of an 8x spike (heavy-tailed, as on a congested fabric). *)
+  straggler : float;
+      (** Per-node CPU slowdown cap: each node's compute multiplier is
+          drawn uniformly from [1.0, straggler]. 1.0 = no stragglers. *)
+  fault_seed : int;  (** Seed of the fault plan (independent of app seed). *)
+}
+
+(** The inert plan: zero rates, no jitter, no stragglers. *)
+val none : params
+
+(** [enabled p] is [true] iff [p] can ever perturb a run. *)
+val enabled : params -> bool
+
+(** [validate p] checks rates are probabilities in [0, 1], [jitter] is
+    non-negative and [straggler >= 1.0]. *)
+val validate : params -> (unit, string) result
+
+type t
+
+(** [create ~params ~nprocs] builds the plan. Raises [Invalid_argument]
+    if [validate] fails. *)
+val create : params -> nprocs:int -> t
+
+val params : t -> params
+
+val enabled_t : t -> bool
+
+(** Per-message verdict for one transmission attempt on link [src -> dst].
+    [delay] applies to the primary copy, [dup_delay] to the duplicate (only
+    meaningful when [duplicate]); both are extra latency in microseconds.
+    All four draws are consumed on every call, so the per-link stream stays
+    aligned whatever the outcomes are. *)
+type verdict = {
+  drop : bool;
+  duplicate : bool;
+  delay : float;
+  dup_delay : float;
+}
+
+val judge : t -> src:int -> dst:int -> verdict
+
+(** [slowdown t ~node] is the node's CPU multiplier in [1.0, straggler];
+    exactly [1.0] when [params.straggler = 1.0]. *)
+val slowdown : t -> node:int -> float
+
+(** Upper bound of the injected per-copy latency (jitter including the
+    spike factor); transports use it to size retransmission timeouts. *)
+val max_delay : t -> float

@@ -1,0 +1,230 @@
+(* Reliable FIFO transport over a chaotic network: per-link sequence
+   numbers, receiver dedup + reorder buffer, cumulative acks, and sender
+   retransmission with exponential backoff up to a retry cap.
+
+   Everything observable is reported through [notify]; the transport keeps
+   no statistics of its own and never raises — an abandoned packet is
+   recorded and surfaced via [describe_pending] so a watchdog can diagnose
+   the stall if anyone was actually waiting on it. *)
+
+type notice =
+  | Dropped of { src : int; dst : int; seq : int; bytes : int; ack : bool }
+  | Duplicated of { src : int; dst : int; seq : int }
+  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int }
+  | Dup_dropped of { src : int; dst : int; seq : int }
+  | Ack_sent of { src : int; dst : int; upto : int }
+  | Gave_up of { src : int; dst : int; seq : int; retries : int }
+
+let seq_bytes = 8
+
+let ack_bytes = 16
+
+type packet = {
+  p_seq : int;
+  p_bytes : int;
+  p_handler : float -> unit;
+  mutable p_retries : int;
+  mutable p_rto : float;
+}
+
+type link = {
+  l_src : int;
+  l_dst : int;
+  mutable l_next_seq : int;  (* sender: next sequence number to assign *)
+  l_inflight : (int, packet) Hashtbl.t;  (* sender: sent, not yet acked *)
+  mutable l_expected : int;  (* receiver: next in-order sequence number *)
+  l_reorder : (int, float -> unit) Hashtbl.t;  (* receiver: seq -> handler *)
+  mutable l_last_deliver : float;  (* receiver: FIFO clamp *)
+  mutable l_gave_up : (int * int) list;  (* (seq, retries), newest first *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  net : Network.t;
+  chaos : Chaos.t;
+  max_retries : int;
+  notify : time:float -> notice -> unit;
+  links : (int * int, link) Hashtbl.t;
+}
+
+let create ~engine ~net ~chaos ?(max_retries = 10) ~notify () =
+  { engine; net; chaos; max_retries; notify; links = Hashtbl.create 64 }
+
+let link t ~src ~dst =
+  match Hashtbl.find_opt t.links (src, dst) with
+  | Some l -> l
+  | None ->
+      let l =
+        {
+          l_src = src;
+          l_dst = dst;
+          l_next_seq = 0;
+          l_inflight = Hashtbl.create 8;
+          l_expected = 0;
+          l_reorder = Hashtbl.create 8;
+          l_last_deliver = 0.;
+          l_gave_up = [];
+        }
+      in
+      Hashtbl.replace t.links (src, dst) l;
+      l
+
+(* Initial retransmission timeout: a generous round trip (payload out, ack
+   back) plus headroom for the worst jitter spike on both legs, so a
+   healthy exchange almost never fires the timer. *)
+let initial_rto t l ~bytes =
+  let fwd =
+    Network.transfer_time t.net ~src:l.l_src ~dst:l.l_dst ~bytes:(bytes + seq_bytes)
+  in
+  let back = Network.transfer_time t.net ~src:l.l_dst ~dst:l.l_src ~bytes:ack_bytes in
+  (2.0 *. (fwd +. back)) +. (2.0 *. Chaos.max_delay t.chaos) +. 100.
+
+(* --- receiver ------------------------------------------------------- *)
+
+(* The ack is cumulative ([upto] = contiguous prefix delivered) plus
+   selective ([received] = the seq of the copy that triggered it): a packet
+   held in the reorder buffer — possibly for a long time, since a link's
+   sequence order follows send-call order while send timestamps need not be
+   monotone — must still stop its sender's retransmission timer. *)
+let send_ack t l ~at ~received =
+  let upto = l.l_expected - 1 in
+  t.notify ~time:at (Ack_sent { src = l.l_src; dst = l.l_dst; upto });
+  let v = Chaos.judge t.chaos ~src:l.l_dst ~dst:l.l_src in
+  let transfer = Network.transfer_time t.net ~src:l.l_dst ~dst:l.l_src ~bytes:ack_bytes in
+  let deliver_copy delay =
+    Sim.Engine.schedule t.engine ~at:(at +. transfer +. delay) (fun () ->
+        let acked =
+          Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc) l.l_inflight []
+        in
+        List.iter (Hashtbl.remove l.l_inflight) acked;
+        Hashtbl.remove l.l_inflight received)
+  in
+  if v.Chaos.drop then
+    t.notify ~time:at
+      (Dropped { src = l.l_src; dst = l.l_dst; seq = upto; bytes = ack_bytes; ack = true })
+  else deliver_copy v.Chaos.delay;
+  if v.Chaos.duplicate then deliver_copy v.Chaos.dup_delay
+
+let deliver t l handler ~at =
+  (* Per-link FIFO clamp, as on the lossless path: a delivery never lands
+     at or before the previous one on the same link. *)
+  let slot = if at <= l.l_last_deliver then l.l_last_deliver +. 1e-6 else at in
+  l.l_last_deliver <- slot;
+  Sim.Engine.schedule t.engine ~at:slot (fun () -> handler slot)
+
+let receive t l ~seq ~handler ~at =
+  if seq < l.l_expected || Hashtbl.mem l.l_reorder seq then
+    (* Duplicate (retransmission of something already delivered/buffered). *)
+    t.notify ~time:at (Dup_dropped { src = l.l_src; dst = l.l_dst; seq })
+  else begin
+    Hashtbl.replace l.l_reorder seq handler;
+    (* Drain the in-order prefix; a gap leaves later packets buffered. *)
+    while Hashtbl.mem l.l_reorder l.l_expected do
+      let h = Hashtbl.find l.l_reorder l.l_expected in
+      Hashtbl.remove l.l_reorder l.l_expected;
+      l.l_expected <- l.l_expected + 1;
+      deliver t l h ~at
+    done
+  end;
+  (* One ack per received copy (also re-acks duplicates, which is what
+     unblocks a sender whose original ack was lost). *)
+  send_ack t l ~at ~received:seq
+
+(* --- sender --------------------------------------------------------- *)
+
+let transmit t l (p : packet) ~at =
+  let v = Chaos.judge t.chaos ~src:l.l_src ~dst:l.l_dst in
+  let transfer =
+    Network.transfer_time t.net ~src:l.l_src ~dst:l.l_dst ~bytes:(p.p_bytes + seq_bytes)
+  in
+  let copy delay =
+    Sim.Engine.schedule t.engine
+      ~at:(at +. transfer +. delay)
+      (fun () ->
+        receive t l ~seq:p.p_seq ~handler:p.p_handler ~at:(Sim.Engine.now t.engine))
+  in
+  if v.Chaos.drop then
+    t.notify ~time:at
+      (Dropped { src = l.l_src; dst = l.l_dst; seq = p.p_seq; bytes = p.p_bytes; ack = false })
+  else copy v.Chaos.delay;
+  if v.Chaos.duplicate then begin
+    t.notify ~time:at (Duplicated { src = l.l_src; dst = l.l_dst; seq = p.p_seq });
+    copy v.Chaos.dup_delay
+  end
+
+let rec arm_timer t l (p : packet) ~at =
+  Sim.Engine.schedule t.engine ~at:(at +. p.p_rto) (fun () ->
+      if Hashtbl.mem l.l_inflight p.p_seq then begin
+        let now = Sim.Engine.now t.engine in
+        if p.p_retries >= t.max_retries then begin
+          Hashtbl.remove l.l_inflight p.p_seq;
+          l.l_gave_up <- (p.p_seq, p.p_retries) :: l.l_gave_up;
+          t.notify ~time:now
+            (Gave_up { src = l.l_src; dst = l.l_dst; seq = p.p_seq; retries = p.p_retries })
+        end
+        else begin
+          p.p_retries <- p.p_retries + 1;
+          p.p_rto <- p.p_rto *. 2.0;
+          t.notify ~time:now
+            (Retransmit
+               {
+                 src = l.l_src;
+                 dst = l.l_dst;
+                 seq = p.p_seq;
+                 retries = p.p_retries;
+                 bytes = p.p_bytes;
+               });
+          transmit t l p ~at:now;
+          arm_timer t l p ~at:now
+        end
+      end)
+
+let send t ~src ~dst ~at ~bytes handler =
+  if src = dst then invalid_arg "Transport.send: loopback is the caller's fast path";
+  let l = link t ~src ~dst in
+  let p =
+    {
+      p_seq = l.l_next_seq;
+      p_bytes = bytes;
+      p_handler = handler;
+      p_retries = 0;
+      p_rto = initial_rto t l ~bytes;
+    }
+  in
+  l.l_next_seq <- l.l_next_seq + 1;
+  Hashtbl.replace l.l_inflight p.p_seq p;
+  transmit t l p ~at;
+  arm_timer t l p ~at
+
+(* --- diagnostics ---------------------------------------------------- *)
+
+let fold_links t f acc =
+  Hashtbl.fold (fun _ l acc -> f acc l) t.links acc
+
+let inflight_count t = fold_links t (fun acc l -> acc + Hashtbl.length l.l_inflight) 0
+
+let gave_up_count t = fold_links t (fun acc l -> acc + List.length l.l_gave_up) 0
+
+let describe_pending t =
+  let links =
+    fold_links t (fun acc l -> l :: acc) []
+    |> List.sort (fun a b -> compare (a.l_src, a.l_dst) (b.l_src, b.l_dst))
+  in
+  List.concat_map
+    (fun l ->
+      let inflight =
+        Hashtbl.fold (fun seq p acc -> (seq, p) :: acc) l.l_inflight []
+        |> List.sort compare
+        |> List.map (fun (seq, p) ->
+               Printf.sprintf "link %d->%d: seq %d unacked (%d bytes, %d retransmissions)"
+                 l.l_src l.l_dst seq p.p_bytes p.p_retries)
+      in
+      let gave_up =
+        List.rev_map
+          (fun (seq, retries) ->
+            Printf.sprintf "link %d->%d: seq %d ABANDONED after %d retransmissions" l.l_src
+              l.l_dst seq retries)
+          l.l_gave_up
+      in
+      inflight @ gave_up)
+    links

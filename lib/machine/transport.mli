@@ -1,0 +1,71 @@
+(** Reliable, FIFO message transport over a faulty network.
+
+    Sits between a message-passing layer and {!Chaos}: every payload sent on
+    a directed link gets a per-link sequence number; the receiver
+    deduplicates, holds out-of-order arrivals in a reorder buffer, and
+    delivers strictly in sequence order — restoring the FIFO contract the
+    SVM protocols assume — while acknowledging cumulatively. The sender
+    retransmits unacknowledged packets on a timer with exponential backoff,
+    up to a retry cap, after which it gives up and records the loss (a
+    no-progress watchdog turns that into a diagnostic failure; the transport
+    itself never raises, because a dropped-forever message after all nodes
+    finished is benign).
+
+    Costs are charged to the simulated timing model: every copy (original,
+    duplicate or retransmission) pays the normal {!Network.transfer_time}
+    plus [seq_bytes] of header, acks pay [ack_bytes], and the chaos verdict's
+    jitter adds to each copy's latency. The transport itself holds no
+    statistics; it reports everything observable through the [notify]
+    callback so the caller can do the accounting and tracing. *)
+
+(** Observable transport actions, reported through [notify] as they happen.
+    Directions: [src]/[dst] are always payload-sender / payload-receiver,
+    even for acks (which travel dst -> src). *)
+type notice =
+  | Dropped of { src : int; dst : int; seq : int; bytes : int; ack : bool }
+      (** The network lost a copy ([ack] distinguishes lost acks). *)
+  | Duplicated of { src : int; dst : int; seq : int }
+      (** The network duplicated a copy in flight. *)
+  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int }
+      (** Sender timeout: one more copy on the wire. *)
+  | Dup_dropped of { src : int; dst : int; seq : int }
+      (** Receiver discarded an already-delivered sequence number. *)
+  | Ack_sent of { src : int; dst : int; upto : int }
+      (** Receiver acknowledged everything up to [upto] inclusive, plus
+          (selectively) the copy that triggered the ack, which may sit in
+          the reorder buffer above a gap. *)
+  | Gave_up of { src : int; dst : int; seq : int; retries : int }
+      (** Retry cap hit; the packet will never be delivered. *)
+
+type t
+
+(** Wire overhead of the sequence/ack header added to every payload copy. *)
+val seq_bytes : int
+
+(** Size of a standalone cumulative acknowledgement message. *)
+val ack_bytes : int
+
+val create :
+  engine:Sim.Engine.t ->
+  net:Network.t ->
+  chaos:Chaos.t ->
+  ?max_retries:int ->
+  notify:(time:float -> notice -> unit) ->
+  unit ->
+  t
+
+(** [send t ~src ~dst ~at ~bytes handler] hands one payload to the
+    transport at time [at]. [handler] runs exactly once, at the payload's
+    in-order delivery time, or never if the retry cap is hit. Loopback
+    ([src = dst]) is not supported here; callers short-circuit it. *)
+val send : t -> src:int -> dst:int -> at:float -> bytes:int -> (float -> unit) -> unit
+
+(** Packets currently awaiting acknowledgement, across all links. *)
+val inflight_count : t -> int
+
+(** Packets abandoned at the retry cap, across all links. *)
+val gave_up_count : t -> int
+
+(** Human-readable lines describing unacknowledged and abandoned packets,
+    for the watchdog's diagnostic dump. Empty when all is quiet. *)
+val describe_pending : t -> string list

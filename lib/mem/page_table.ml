@@ -47,6 +47,8 @@ let ensure t page =
       t.entries.(page) <- Some e;
       e
 
+let find t page = if page < 0 || page >= t.npages then None else t.entries.(page)
+
 let entry t page =
   if page < 0 || page >= t.npages then
     invalid_arg (Printf.sprintf "Page_table.entry: page %d out of range" page)

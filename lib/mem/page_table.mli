@@ -32,6 +32,10 @@ val npages : t -> int
     inaccessible one if needed. *)
 val ensure : t -> int -> entry
 
+(** [find t page] is the entry if the page was ever touched, without
+    creating or growing anything (safe for read-only inspection). *)
+val find : t -> int -> entry option
+
 (** [entry t page] like {!ensure} but raises [Invalid_argument] if the page
     was never touched on this node. *)
 val entry : t -> int -> entry

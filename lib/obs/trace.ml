@@ -21,6 +21,11 @@ type kind =
   | Gc_done
   | Msg_send of { dst : int; bytes : int; update : int }
   | Msg_recv of { src : int; bytes : int; update : int }
+  | Msg_drop of { dst : int; seq : int; bytes : int; ack : bool }
+  | Msg_retransmit of { dst : int; seq : int; retries : int }
+  | Msg_ack of { dst : int; upto : int }
+  | Msg_duplicate_dropped of { src : int; seq : int }
+  | Watchdog_stall of { blocked : int; inflight : int }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -47,6 +52,11 @@ let kind_name = function
   | Gc_done -> "gc_done"
   | Msg_send _ -> "msg_send"
   | Msg_recv _ -> "msg_recv"
+  | Msg_drop _ -> "msg_drop"
+  | Msg_retransmit _ -> "msg_retransmit"
+  | Msg_ack _ -> "msg_ack"
+  | Msg_duplicate_dropped _ -> "msg_duplicate_dropped"
+  | Watchdog_stall _ -> "watchdog_stall"
 
 let kind_fields = function
   | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
@@ -89,6 +99,19 @@ let kind_fields = function
       [ ("dst", Json.Int dst); ("bytes", Json.Int bytes); ("update", Json.Int update) ]
   | Msg_recv { src; bytes; update } ->
       [ ("src", Json.Int src); ("bytes", Json.Int bytes); ("update", Json.Int update) ]
+  | Msg_drop { dst; seq; bytes; ack } ->
+      [
+        ("dst", Json.Int dst);
+        ("seq", Json.Int seq);
+        ("bytes", Json.Int bytes);
+        ("ack", Json.Bool ack);
+      ]
+  | Msg_retransmit { dst; seq; retries } ->
+      [ ("dst", Json.Int dst); ("seq", Json.Int seq); ("retries", Json.Int retries) ]
+  | Msg_ack { dst; upto } -> [ ("dst", Json.Int dst); ("upto", Json.Int upto) ]
+  | Msg_duplicate_dropped { src; seq } -> [ ("src", Json.Int src); ("seq", Json.Int seq) ]
+  | Watchdog_stall { blocked; inflight } ->
+      [ ("blocked", Json.Int blocked); ("inflight", Json.Int inflight) ]
 
 let to_json ev =
   Json.Obj
@@ -138,6 +161,22 @@ let render = function
   | Gc_start { mem_bytes } ->
       Some (Printf.sprintf "gc: start (protocol memory %d bytes)" mem_bytes)
   | Gc_done -> Some "gc: discarded diffs and interval records"
+  (* Chaos/transport kinds postdate the legacy tracer; their lines are new,
+     not reproductions, so they may say whatever reads best. *)
+  | Msg_drop { dst; seq; bytes; ack } ->
+      Some
+        (Printf.sprintf "chaos: network dropped %s to node %d (seq %d, %d bytes)"
+           (if ack then "ack" else "message")
+           dst seq bytes)
+  | Msg_retransmit { dst; seq; retries } ->
+      Some (Printf.sprintf "transport: retransmit seq %d to node %d (attempt %d)" seq dst retries)
+  | Msg_ack { dst; upto } -> Some (Printf.sprintf "transport: ack up to seq %d to node %d" upto dst)
+  | Msg_duplicate_dropped { src; seq } ->
+      Some (Printf.sprintf "transport: dropped duplicate seq %d from node %d" seq src)
+  | Watchdog_stall { blocked; inflight } ->
+      Some
+        (Printf.sprintf "watchdog: no progress (%d blocked nodes, %d in-flight packets)" blocked
+           inflight)
   | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ -> None
 
 (* ------------------------------------------------------------------ *)

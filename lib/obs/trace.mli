@@ -42,6 +42,17 @@ type kind =
   | Gc_done
   | Msg_send of { dst : int; bytes : int; update : int }
   | Msg_recv of { src : int; bytes : int; update : int }
+  | Msg_drop of { dst : int; seq : int; bytes : int; ack : bool }
+      (** Chaos: the network lost a copy ([ack] = a lost acknowledgement). *)
+  | Msg_retransmit of { dst : int; seq : int; retries : int }
+      (** Transport timeout: the packet went out again. *)
+  | Msg_ack of { dst : int; upto : int }
+      (** Cumulative transport acknowledgement sent to [dst]. *)
+  | Msg_duplicate_dropped of { src : int; seq : int }
+      (** Receiver-side dedup discarded an already-seen sequence number. *)
+  | Watchdog_stall of { blocked : int; inflight : int }
+      (** No-progress watchdog: quiescent engine with unfinished nodes, or
+          a transport retry-cap breach. *)
 
 type event = {
   time : float;  (** Simulated time, microseconds. *)

@@ -24,6 +24,8 @@ let leq a b =
 
 let dominates a b = leq b a
 
+let is_initial t = Array.for_all (fun x -> x = -1) t
+
 let equal a b = a = b
 
 let size_bytes t = 4 * Array.length t

@@ -25,6 +25,9 @@ val leq : t -> t -> bool
 (** [dominates a b] = [leq b a]. *)
 val dominates : t -> t -> bool
 
+(** No intervals recorded: every component still at the initial [-1]. *)
+val is_initial : t -> bool
+
 val equal : t -> t -> bool
 
 (** Wire/memory footprint: 4 bytes per entry. *)

@@ -23,10 +23,21 @@ let split t =
   let seed = bits64 t in
   { state = seed }
 
+(* Rejection sampling over 63 uniform bits (Java's nextInt idiom): draw,
+   reduce, and retry whenever the draw falls in the short tail
+   [2^63 - 2^63 mod bound, 2^63), which a plain [mod] would fold onto the
+   low residues and bias them by up to bound/2^63. The overflow test
+   [bits - r + (bound - 1) < 0] detects exactly those tail draws. *)
 let int t bound =
-  assert (bound > 0);
-  let bits = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
-  bits mod bound
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let b = Int64.of_int bound in
+  let rec draw () =
+    let bits = Int64.shift_right_logical (bits64 t) 1 in
+    let r = Int64.rem bits b in
+    if Int64.compare (Int64.add (Int64.sub bits r) (Int64.sub b 1L)) 0L < 0 then draw ()
+    else Int64.to_int r
+  in
+  draw ()
 
 let float t bound =
   let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in

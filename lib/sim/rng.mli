@@ -11,8 +11,9 @@ val create : seed:int -> t
 (** [split t] derives an independent generator, leaving [t] advanced. *)
 val split : t -> t
 
-(** [int t bound] draws uniformly from [0 .. bound-1]. [bound] must be
-    positive. *)
+(** [int t bound] draws uniformly from [0 .. bound-1] by rejection
+    sampling (no modulo bias). Raises [Invalid_argument] unless [bound]
+    is positive. *)
 val int : t -> int -> int
 
 (** [float t bound] draws uniformly from [0, bound). *)

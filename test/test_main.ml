@@ -21,4 +21,5 @@ let () =
       ("invariants", Test_invariants.suite);
       ("regressions", Test_regressions.suite);
       ("random", Test_random.suite);
+      ("chaos", Test_chaos.suite);
     ]
