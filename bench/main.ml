@@ -10,7 +10,7 @@
 
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
-   ablation-locks ablation-migration chaos-soak micro all
+   ablation-locks ablation-migration chaos-soak profile micro all
 
    Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
    --fault-seed apply one chaos plan to every simulated cell (chaos-soak
@@ -26,6 +26,7 @@ type options = {
   mutable json_out : string option;
   mutable trace_out : string option;
   mutable trace_format : Obs.Export.format;
+  mutable trace_cap : int;
   mutable chaos : Machine.Chaos.params;
 }
 
@@ -39,6 +40,7 @@ let parse_args () =
       json_out = None;
       trace_out = None;
       trace_format = Obs.Export.Jsonl;
+      trace_cap = 1_000_000;
       chaos = Machine.Chaos.none;
     }
   in
@@ -103,6 +105,13 @@ let parse_args () =
           (match Obs.Export.format_of_string s with
           | Some fmt -> fmt
           | None -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" s)));
+        go rest
+    | "--trace-cap" :: s :: rest ->
+        (o.trace_cap <-
+          (match int_of_string_opt s with
+          | Some n when n > 0 -> n
+          | Some n -> failwith (Printf.sprintf "--trace-cap: must be positive, got %d" n)
+          | None -> failwith (Printf.sprintf "--trace-cap: expected an integer, got %S" s)));
         go rest
     | arg :: rest ->
         o.artifacts <- o.artifacts @ [ String.lowercase_ascii arg ];
@@ -215,7 +224,9 @@ let () =
   in
   let ppf = Format.std_formatter in
   let sink =
-    match o.trace_out with None -> None | Some _ -> Some (Obs.Trace.create_sink ())
+    match o.trace_out with
+    | None -> None
+    | Some _ -> Some (Obs.Trace.create_sink ~capacity:o.trace_cap ())
   in
   let m = Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos ~scale:o.scale () in
   let failures = ref 0 in
@@ -240,6 +251,9 @@ let () =
         Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes
     | "chaos-soak" ->
         if not (Harness.Soak.report ppf ~scale:o.scale ()) then incr failures
+    | "profile" ->
+        Harness.Profile.report ppf ~verify:o.verify ~chaos:o.chaos ~trace_cap:o.trace_cap
+          ~scale:o.scale ~node_counts:o.nodes ()
     | "micro" -> micro ()
     | "all" ->
         Harness.Tables.table1 ppf m;

@@ -10,7 +10,8 @@ open Cmdliner
 let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
-    json_out trace_out trace_format drop_rate dup_rate jitter straggler fault_seed =
+    json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
+    fault_seed =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -42,18 +43,28 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   | Ok () -> ()
   | Error msg -> failwith msg);
   let cfg =
-    Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos protocol
+    Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos
+      ~trace_cap ~trace_spans:profile protocol
   in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
   in
   let sink =
-    match trace_out with None -> None | Some _ -> Some (Obs.Trace.create_sink ())
+    if trace_out <> None || profile then
+      Some (Obs.Trace.create_sink ~capacity:cfg.Svm.Config.trace_cap ())
+    else None
   in
   let t0 = Unix.gettimeofday () in
   let r = Svm.Runtime.run ?trace:trace_fn ?sink cfg (app.Apps.Registry.body ~verify) in
   let wall = Unix.gettimeofday () -. t0 in
-  (match json_out with None -> () | Some file -> Svm.Report_json.write file r);
+  let critical_path =
+    match sink with
+    | Some sink when profile -> Some (Obs.Critical_path.analyze sink)
+    | _ -> None
+  in
+  (match json_out with
+  | None -> ()
+  | Some file -> Svm.Report_json.write ?critical_path ?trace:sink file r);
   (match (trace_out, sink) with
   | Some file, Some sink -> Obs.Export.write_file trace_fmt file sink
   | _ -> ());
@@ -80,6 +91,14 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest
   end;
   if verify then Format.printf "verification: passed (results match the sequential reference)@.";
+  (match (critical_path, sink) with
+  | Some cp, Some sink ->
+      Format.printf "@.%s" (Obs.Critical_path.render cp);
+      if Obs.Trace.dropped sink > 0 then
+        Format.printf
+          "warning     : trace sink overflowed (%d events dropped; raise --trace-cap)@."
+          (Obs.Trace.dropped sink)
+  | _ -> ());
   if breakdown then begin
     Format.printf "@.per-node breakdowns:@.";
     Array.iter
@@ -144,6 +163,21 @@ let trace_format_arg =
   in
   Arg.(value & opt string "jsonl" & info [ "trace-format" ] ~docv:"FMT" ~doc)
 
+let trace_cap_arg =
+  let doc =
+    "Capacity of the trace-event sink used by --trace-out and --profile; events beyond it \
+     are counted as dropped, keeping memory bounded on long runs."
+  in
+  Arg.(value & opt int 1_000_000 & info [ "trace-cap" ] ~docv:"N" ~doc)
+
+let profile_arg =
+  let doc =
+    "Record the causal layer (wait spans, message flows) and print the critical-path blame \
+     table: which wait buckets, pages and locks the run's end-to-end time is attributable \
+     to. Combine with --json / --trace-out to export the analysis and the Perfetto trace."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let drop_rate_arg =
   let doc = "Probability in [0,1) that the network drops a packet (chaos testing)." in
   Arg.(value & opt float 0.0 & info [ "drop-rate" ] ~docv:"P" ~doc)
@@ -172,8 +206,8 @@ let fault_seed_arg =
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
-let run_safe a b c d e g h i j k l m n o p q s t =
-  try run a b c d e g h i j k l m n o p q s t with
+let run_safe a b c d e g h i j k l m n o p q s t u v =
+  try run a b c d e g h i j k l m n o p q s t u v with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
       exit 2
@@ -188,7 +222,7 @@ let cmd =
     Term.(
       const run_safe $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg
       $ seed_arg $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
-      $ trace_format_arg $ drop_rate_arg $ dup_rate_arg $ jitter_arg $ straggler_arg
-      $ fault_seed_arg)
+      $ trace_format_arg $ trace_cap_arg $ profile_arg $ drop_rate_arg $ dup_rate_arg
+      $ jitter_arg $ straggler_arg $ fault_seed_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -45,6 +45,8 @@ type t = {
   paranoid : bool;
   seed : int;
   chaos : Machine.Chaos.params;
+  trace_cap : int;
+  trace_spans : bool;
 }
 
 let chaos_enabled t = Machine.Chaos.enabled t.chaos
@@ -54,7 +56,8 @@ let power_of_two n = n > 0 && n land (n - 1) = 0
 let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(home_policy = Round_robin) ?(gc_threshold_bytes = 2 * 1024 * 1024)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
-    ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none) ~nprocs protocol =
+    ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none)
+    ?(trace_cap = 1_000_000) ?(trace_spans = false) ~nprocs protocol =
   if nprocs <= 0 then
     invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
   if not (power_of_two page_words) then
@@ -69,6 +72,9 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     invalid_arg
       (Printf.sprintf "Config.make: au_combine_words must be positive (got %d)"
          au_combine_words);
+  if trace_cap <= 0 then
+    invalid_arg
+      (Printf.sprintf "Config.make: trace_cap must be positive (got %d)" trace_cap);
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error e -> invalid_arg ("Config.make: " ^ e));
@@ -85,4 +91,6 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     paranoid;
     seed;
     chaos;
+    trace_cap;
+    trace_spans;
   }

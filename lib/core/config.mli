@@ -77,6 +77,16 @@ type t = {
           {!Machine.Chaos.none} (the default) the run is fault-free and
           the reliable-transport layer is bypassed entirely, so reports
           are byte-identical to a build without the chaos machinery. *)
+  trace_cap : int;
+      (** Capacity of the trace sink the drivers create for [--trace-out]
+          / [--profile] (default 1,000,000 events); overflow is counted in
+          {!Obs.Trace.dropped} and surfaced in reports. *)
+  trace_spans : bool;
+      (** Emit the causal layer — {!Obs.Trace.Wait_begin}/[Wait_end] spans,
+          memory counter samples, and diff-reply correlation events — into
+          the trace sink. Off by default so plain [--trace-out] JSONL
+          output stays byte-identical to the pre-span schema; turned on by
+          [--profile] (and needed by {!Obs.Critical_path}). *)
 }
 
 (** Whether this configuration injects any faults (see
@@ -84,9 +94,10 @@ type t = {
 val chaos_enabled : t -> bool
 
 (** Raises [Invalid_argument] with a descriptive message when a knob is out
-    of range: [nprocs], [gc_threshold_bytes] or [au_combine_words]
-    non-positive, [page_words] not a positive power of two, or an invalid
-    chaos plan (rates outside [0, 1], negative jitter, straggler < 1). *)
+    of range: [nprocs], [gc_threshold_bytes], [au_combine_words] or
+    [trace_cap] non-positive, [page_words] not a positive power of two, or
+    an invalid chaos plan (rates outside [0, 1], negative jitter,
+    straggler < 1). *)
 val make :
   ?page_words:int ->
   ?costs:Machine.Costs.t ->
@@ -98,6 +109,8 @@ val make :
   ?paranoid:bool ->
   ?seed:int ->
   ?chaos:Machine.Chaos.params ->
+  ?trace_cap:int ->
+  ?trace_spans:bool ->
   nprocs:int ->
   protocol ->
   t

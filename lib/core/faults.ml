@@ -235,6 +235,9 @@ let collect_diffs sys node page ~on_valid =
             let payload =
               List.fold_left (fun acc (_, d) -> acc + Mem.Diff.size_bytes d) 0 diffs
             in
+            if spans_on sys then
+              event_at sys ~node:writer ~time:done_t
+                (Obs.Trace.Diff_reply { page; dst = node.id; bytes = payload });
             send sys ~src:writer_node ~dst:node.id ~at:done_t
               ~bytes:(header_bytes + payload) ~update:payload (fun reply_at ->
                 Machine.Node.sync_to node.mach reply_at;
@@ -346,17 +349,24 @@ let make_valid sys node page ~on_valid =
         entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
         on_valid ()
       end
-      else
+      else begin
+        let span =
+          span_begin sys ~node:node.id ~time:node.mach.Machine.Node.clock
+            ~bucket:Obs.Trace.Wb_home ~resource:page
+        in
         hp.hp_pending <-
           {
             pf_needed = Proto.Vclock.copy pi.needed;
             pf_serve =
               (fun at ->
                 Machine.Node.sync_to node.mach at;
+                span_end sys ~node:node.id ~time:node.mach.Machine.Node.clock ~span
+                  ~bucket:Obs.Trace.Wb_home ~resource:page;
                 entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
                 on_valid ());
           }
           :: hp.hp_pending
+      end
     end
     else begin
       node.stats.Stats.c.Stats.read_misses <- node.stats.Stats.c.Stats.read_misses + 1;
@@ -410,7 +420,7 @@ let make_writable sys node page =
 let read_fault sys node page k =
   let c = costs sys in
   charge_protocol node c.Machine.Costs.page_fault;
-  block sys node Wait_data k;
+  block sys node ~resource:page Wait_data k;
   make_valid sys node page ~on_valid:(fun () ->
       resume sys node ~at:node.mach.Machine.Node.clock)
 
@@ -418,7 +428,7 @@ let write_fault sys node page k =
   let c = costs sys in
   charge_protocol node c.Machine.Costs.page_fault;
   node.stats.Stats.c.Stats.write_faults <- node.stats.Stats.c.Stats.write_faults + 1;
-  block sys node Wait_data k;
+  block sys node ~resource:page Wait_data k;
   let entry = Mem.Page_table.ensure node.pt page in
   if entry.Mem.Page_table.prot = Mem.Page_table.No_access then
     make_valid sys node page ~on_valid:(fun () ->

@@ -113,6 +113,9 @@ let run sys node ~on_done =
   node.stats.Stats.c.Stats.gc_runs <- node.stats.Stats.c.Stats.gc_runs + 1;
   event sys node
     (Obs.Trace.Gc_start { mem_bytes = Mem.Accounting.current node.stats.Stats.proto_mem });
+  if spans_on sys then
+    event sys node
+      (Obs.Trace.Mem_sample { bytes = Mem.Accounting.current node.stats.Stats.proto_mem });
   sweep sys node ~k:(fun () ->
       (* Rendezvous: nobody discards until everyone has validated. *)
       let mgr = sys.nodes.(0) in

@@ -109,7 +109,10 @@ let node_json ~chaos (n : Runtime.node_report) =
 let sum_counter (r : Runtime.report) field =
   Array.fold_left (fun acc n -> acc + field n.Runtime.nr_counters) 0 r.Runtime.r_nodes
 
-let encode (r : Runtime.report) =
+(* The optional sections ([?critical_path], [?trace]) append to the
+   document only when the caller passes them, so a report produced without
+   the profiler stays byte-identical to the pre-profiler schema. *)
+let encode ?critical_path ?trace (r : Runtime.report) =
   let chaos = Config.chaos_enabled r.r_config in
   let chaos_totals =
     if not chaos then []
@@ -131,7 +134,7 @@ let encode (r : Runtime.report) =
       ]
   in
   Obj
-    [
+    ([
       ("schema_version", Int schema_version);
       ("config", config_json r.r_config);
       ("elapsed_us", f r.r_elapsed);
@@ -149,15 +152,31 @@ let encode (r : Runtime.report) =
           @ chaos_totals) );
       ("nodes", List (Array.to_list (Array.map (node_json ~chaos) r.r_nodes)));
     ]
+    @ (match trace with
+      | None -> []
+      | Some sink ->
+          [
+            ( "trace",
+              Obj
+                [
+                  ("events", Int (Obs.Trace.length sink));
+                  ("dropped", Int (Obs.Trace.dropped sink));
+                  ("capacity", Int (Obs.Trace.capacity sink));
+                ] );
+          ])
+    @
+    match critical_path with
+    | None -> []
+    | Some cp -> [ ("critical_path", Obs.Critical_path.to_json cp) ])
 
-let to_string r = to_string_pretty (encode r)
+let to_string ?critical_path ?trace r = to_string_pretty (encode ?critical_path ?trace r)
 
-let write file r =
+let write ?critical_path ?trace file r =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string r);
+      output_string oc (to_string ?critical_path ?trace r);
       output_char oc '\n')
 
 (* --- validation ------------------------------------------------------- *)
@@ -259,6 +278,42 @@ let check_chaos_totals totals =
       let* _ = want_string "totals.chaos" ch "mem_digest" in
       Ok ()
 
+(* Profiler sections are optional — present only when the run was profiled
+   — but when present they must have the right shape. *)
+let check_trace_section j =
+  match member "trace" j with
+  | None -> Ok ()
+  | Some t ->
+      each
+        (fun name -> Result.map ignore (want_int "trace" t name))
+        [ "events"; "dropped"; "capacity" ]
+
+let check_critical_path j =
+  match member "critical_path" j with
+  | None -> Ok ()
+  | Some cp ->
+      let* _ = want_num "critical_path" cp "finish_us" in
+      let* _ = want_int "critical_path" cp "end_node" in
+      let* _ = want_int "critical_path" cp "hops" in
+      let* _ = want_int "critical_path" cp "segments" in
+      let* b = field "critical_path" cp "buckets" in
+      let* () =
+        each
+          (fun name -> Result.map ignore (want_num "critical_path.buckets" b name))
+          [ "local"; "data"; "lock"; "barrier"; "gc" ]
+      in
+      let* _ = want_list "critical_path" cp "top_pages" in
+      let* _ = want_list "critical_path" cp "top_locks" in
+      let* _ = want_list "critical_path" cp "home_pages" in
+      let* epochs = want_list "critical_path" cp "epochs" in
+      each
+        (fun e ->
+          let* _ = want_int "critical_path.epochs" e "epoch" in
+          let* _ = want_int "critical_path.epochs" e "straggler" in
+          let* _ = want_num "critical_path.epochs" e "spread_us" in
+          Result.map ignore (want_num "critical_path.epochs" e "last_arrive_us"))
+        epochs
+
 let validate j =
   let* version = want_int "report" j "schema_version" in
   if version <> schema_version then
@@ -292,6 +347,8 @@ let validate j =
           fail "report.nodes: %d entries but config.nprocs = %d" (List.length nodes) nprocs
         else
           let* () = each (fun (i, n) -> check_node i n) (List.mapi (fun i n -> (i, n)) nodes) in
+          let* () = check_trace_section j in
+          let* () = check_critical_path j in
           Ok ()
 
 let headline j =

@@ -10,13 +10,26 @@
 
 val schema_version : int
 
-val encode : Runtime.report -> Obs.Json.t
+(** [encode ?critical_path ?trace r] — the optional sections appear in the
+    document only when passed: [critical_path] (see
+    {!Obs.Critical_path.to_json}) and [trace] (sink occupancy: [events],
+    [dropped], [capacity] — how much of the trace survived the bounded
+    sink). A report encoded without them is byte-identical to the
+    pre-profiler schema. *)
+val encode :
+  ?critical_path:Obs.Critical_path.t -> ?trace:Obs.Trace.sink -> Runtime.report -> Obs.Json.t
 
 (** Pretty serialization of {!encode} (deterministic; see {!Obs.Json}). *)
-val to_string : Runtime.report -> string
+val to_string :
+  ?critical_path:Obs.Critical_path.t -> ?trace:Obs.Trace.sink -> Runtime.report -> string
 
 (** Write the report to [file]. *)
-val write : string -> Runtime.report -> unit
+val write :
+  ?critical_path:Obs.Critical_path.t ->
+  ?trace:Obs.Trace.sink ->
+  string ->
+  Runtime.report ->
+  unit
 
 (** Structural schema check of a parsed report: version, config, totals,
     and the per-node records all present with the right shapes. Returns

@@ -59,12 +59,21 @@ let resume_after_home_waits sys node waits =
         (fun (page, hp) ->
           let pi = page_info sys node page in
           event sys node (Obs.Trace.Home_wait { page });
+          (* Nested home-wait span: the node stays accounted to its outer
+             lock/barrier bucket, but the causal layer records which master
+             copy's in-flight diffs it is pinned on. *)
+          let span =
+            span_begin sys ~node:node.id ~time:node.mach.Machine.Node.clock
+              ~bucket:Obs.Trace.Wb_home ~resource:page
+          in
           hp.hp_pending <-
             {
               pf_needed = Proto.Vclock.copy pi.needed;
               pf_serve =
                 (fun at ->
                   Machine.Node.sync_to node.mach at;
+                  span_end sys ~node:node.id ~time:node.mach.Machine.Node.clock ~span
+                    ~bucket:Obs.Trace.Wb_home ~resource:page;
                   decr remaining;
                   if !remaining = 0 then resume sys node ~at:node.mach.Machine.Node.clock);
             }
@@ -147,7 +156,7 @@ let acquire sys node lock k =
     (* Token still here and nobody asked for it: free reacquire. *)
     ls.lk_held <- true;
     event sys node (Obs.Trace.Lock_acquire { lock; remote = false });
-    block sys node Wait_lock k;
+    block sys node ~resource:lock Wait_lock k;
     resume sys node ~at:node.mach.Machine.Node.clock
   end
   else begin
@@ -155,7 +164,7 @@ let acquire sys node lock k =
     ls.lk_waiting <- true;
     (* Performing a remote acquire delimits the current interval. *)
     Intervals.end_interval sys node;
-    block sys node Wait_lock k;
+    block sys node ~resource:lock Wait_lock k;
     event sys node (Obs.Trace.Lock_acquire { lock; remote = true });
     let req_vt = Proto.Vclock.copy node.vt in
     let mgr = manager_of sys lock in
@@ -274,7 +283,7 @@ let barrier sys node k =
   node.stats.Stats.c.Stats.barriers <- node.stats.Stats.c.Stats.barriers + 1;
   Stats.mark_epoch node.stats;
   Intervals.end_interval sys node;
-  block sys node Wait_barrier k;
+  block sys node ~resource:sys.barrier.bar_epoch Wait_barrier k;
   (* Report the node's own new intervals; every other creator reports its
      own, so the manager hears about everything. *)
   let own =
@@ -287,6 +296,7 @@ let barrier sys node k =
   let mem = Mem.Accounting.current node.stats.Stats.proto_mem in
   event sys node
     (Obs.Trace.Barrier_arrive { epoch = sys.barrier.bar_epoch; intervals = List.length own });
+  if spans_on sys then event sys node (Obs.Trace.Mem_sample { bytes = mem });
   (* Eager RC: the barrier arrival waits for this node's update acks. *)
   rc_when_drained sys node (fun drain_at ->
       let at = Float.max drain_at node.mach.Machine.Node.clock in

@@ -76,6 +76,8 @@ type node_state = {
   mutable blocked : block_kind option;
   mutable block_clock : float;
   mutable wait_services : float;  (* service time charged while blocked *)
+  mutable wait_span : int;  (* open wait-span id (-1 = none / spans off) *)
+  mutable wait_resource : int;  (* resource of the open span (page/lock/epoch) *)
   mutable rc_acks : int;  (* eager RC: update acknowledgements outstanding *)
   mutable rc_drain : (float -> unit) list;
       (* eager RC: actions (grants, barrier arrivals) deferred until the
@@ -130,6 +132,7 @@ type t = {
   mutable trace : (float -> string -> unit) option;
       (* legacy string tracer: fed by rendering the typed events *)
   mutable sink : Obs.Trace.sink option;  (* typed trace-event sink *)
+  mutable next_span : int;  (* wait-span id allocator (causal layer) *)
   mutable finished_count : int;
   chaos : Machine.Chaos.t option;  (* fault plan; None = fault-free run *)
   mutable transport : Machine.Transport.t option;
@@ -171,6 +174,32 @@ let event_at t ~node ~time kind =
       | Some line -> emit time (Printf.sprintf "[node %d] %s" node line)
       | None -> ())
   | None -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Causal layer: wait spans. Gated on [trace_spans] *and* a typed sink so
+   default JSONL traces keep the pre-span event set byte-for-byte. *)
+
+let spans_on t = t.cfg.Config.trace_spans && t.sink <> None
+
+let bucket_of_kind = function
+  | Wait_data -> Obs.Trace.Wb_data
+  | Wait_lock -> Obs.Trace.Wb_lock
+  | Wait_barrier -> Obs.Trace.Wb_barrier
+  | Wait_gc -> Obs.Trace.Wb_gc
+
+(* Open a span on [node] at [time]; returns its id (-1 when spans are off,
+   which every later emission treats as "nothing to close"). *)
+let span_begin t ~node ~time ~bucket ~resource =
+  if not (spans_on t) then -1
+  else begin
+    let span = t.next_span in
+    t.next_span <- span + 1;
+    event_at t ~node ~time (Obs.Trace.Wait_begin { span; bucket; resource });
+    span
+  end
+
+let span_end t ~node ~time ~span ~bucket ~resource =
+  if span >= 0 then event_at t ~node ~time (Obs.Trace.Wait_end { span; bucket; resource })
 
 (* ------------------------------------------------------------------ *)
 (* Transport accounting: everything the reliable transport does (drops,
@@ -257,6 +286,8 @@ let create (cfg : Config.t) =
       blocked = None;
       block_clock = 0.;
       wait_services = 0.;
+      wait_span = -1;
+      wait_resource = 0;
       rc_acks = 0;
       rc_drain = [];
       in_gc = false;
@@ -289,6 +320,7 @@ let create (cfg : Config.t) =
       gc_on_done = Hashtbl.create 8;
       trace = None;
       sink = None;
+      next_span = 0;
       finished_count = 0;
       chaos;
       transport = None;
@@ -519,13 +551,16 @@ let local_protocol_work t node ~cost =
 (* ------------------------------------------------------------------ *)
 (* Blocking and resuming application processes                         *)
 
-let block _t node kind k =
+let block t node ?(resource = 0) kind k =
   assert (node.blocked = None);
   assert (node.cont = None);
   node.cont <- Some k;
   node.blocked <- Some kind;
   node.block_clock <- node.mach.Machine.Node.clock;
-  node.wait_services <- 0.
+  node.wait_services <- 0.;
+  node.wait_resource <- resource;
+  node.wait_span <-
+    span_begin t ~node:node.id ~time:node.block_clock ~bucket:(bucket_of_kind kind) ~resource
 
 (* Resume the node's blocked process at simulated time [at]: the wait (minus
    any request service charged to the node during the wait) is accounted to
@@ -546,13 +581,16 @@ let resume t node ~at =
       | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
       | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
       | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
+      span_end t ~node:node.id ~time:node.mach.Machine.Node.clock ~span:node.wait_span
+        ~bucket:(bucket_of_kind kind) ~resource:node.wait_resource;
+      node.wait_span <- -1;
       let at' = Float.max (now t) node.mach.Machine.Node.clock in
       Sim.Engine.schedule t.engine ~at:at' (fun () -> Effect.Deep.continue k ())
   | _ -> invalid_arg "System.resume: node is not blocked"
 
 (* Close the current wait bucket and continue blocking under a new kind
    (barrier wait turning into GC wait). *)
-let rebucket_block _t node kind =
+let rebucket_block t node ?(resource = 0) kind =
   match node.blocked with
   | None -> invalid_arg "System.rebucket_block: node is not blocked"
   | Some old_kind ->
@@ -565,9 +603,15 @@ let rebucket_block _t node kind =
       | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
       | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
       | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
+      span_end t ~node:node.id ~time:node.mach.Machine.Node.clock ~span:node.wait_span
+        ~bucket:(bucket_of_kind old_kind) ~resource:node.wait_resource;
       node.blocked <- Some kind;
       node.block_clock <- node.mach.Machine.Node.clock;
-      node.wait_services <- 0.
+      node.wait_services <- 0.;
+      node.wait_resource <- resource;
+      node.wait_span <-
+        span_begin t ~node:node.id ~time:node.block_clock ~bucket:(bucket_of_kind kind)
+          ~resource
 
 (* ------------------------------------------------------------------ *)
 (* Memory accounting helpers                                          *)

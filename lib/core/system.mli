@@ -71,6 +71,10 @@ type node_state = {
   mutable blocked : block_kind option;
   mutable block_clock : float;
   mutable wait_services : float;
+  mutable wait_span : int;
+      (** Open wait-span id ([-1] = none / spans off). *)
+  mutable wait_resource : int;
+      (** Resource of the open span (page, lock or epoch). *)
   mutable rc_acks : int;
   mutable rc_drain : (float -> unit) list;
   mutable in_gc : bool;
@@ -109,6 +113,7 @@ type t = {
   gc_on_done : (int, unit -> unit) Hashtbl.t;
   mutable trace : (float -> string -> unit) option;
   mutable sink : Obs.Trace.sink option;
+  mutable next_span : int;  (** Wait-span id allocator (causal layer). *)
   mutable finished_count : int;
   chaos : Machine.Chaos.t option;  (** Fault plan; [None] = fault-free run. *)
   mutable transport : Machine.Transport.t option;
@@ -177,6 +182,29 @@ val event_at : t -> node:int -> time:float -> Obs.Trace.kind -> unit
     diff-level events to [node]; [None] when tracing is off. *)
 val diff_obs : t -> node_state -> (Obs.Trace.kind -> unit) option
 
+(** Whether the causal layer is live: {!Config.trace_spans} is set {e and}
+    a typed sink is installed. Gates every new-schema event so default
+    [--trace-out] JSONL output stays byte-identical to the pre-span
+    format. *)
+val spans_on : t -> bool
+
+(** Open a {!Obs.Trace.Wait_begin} span and return its run-unique id, or
+    [-1] when {!spans_on} is false (a [-1] id makes {!span_end} a no-op).
+    Used directly by protocol modules for nested home-wait spans; plain
+    block waits get their spans from {!block}/{!resume}. *)
+val span_begin :
+  t -> node:int -> time:float -> bucket:Obs.Trace.wait_bucket -> resource:int -> int
+
+(** Close the span ([Wait_end]); no-op when [span < 0]. *)
+val span_end :
+  t ->
+  node:int ->
+  time:float ->
+  span:int ->
+  bucket:Obs.Trace.wait_bucket ->
+  resource:int ->
+  unit
+
 (** Per-page metadata of a node, created on first use. *)
 val page_info : t -> node_state -> int -> page_info
 
@@ -234,11 +262,21 @@ val local_protocol_work : t -> node_state -> cost:float -> float
 
 (** {1 Blocking and resuming application processes} *)
 
-val block : t -> node_state -> block_kind -> (unit, unit) Effect.Deep.continuation -> unit
+(** [block t node ?resource kind k] suspends the node's process. [resource]
+    names what it waits on — the page for [Wait_data], lock for
+    [Wait_lock], epoch for [Wait_barrier] (default [0]) — and lands in the
+    wait span the causal layer emits when {!spans_on}. *)
+val block :
+  t ->
+  node_state ->
+  ?resource:int ->
+  block_kind ->
+  (unit, unit) Effect.Deep.continuation ->
+  unit
 
-(** Close the current wait bucket and continue blocking under a new kind
-    (barrier wait turning into GC wait). *)
-val rebucket_block : t -> node_state -> block_kind -> unit
+(** Close the current wait bucket (and its span) and continue blocking
+    under a new kind (barrier wait turning into GC wait). *)
+val rebucket_block : t -> node_state -> ?resource:int -> block_kind -> unit
 
 (** Resume the node's suspended process at simulated time [at], accounting
     the wait to the bucket of its block kind. *)

@@ -8,7 +8,13 @@
     - {b Chrome [trace_event]}: a JSON document loadable directly by
       [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}, with one
       named track (thread) per simulated node and each protocol event as an
-      instant event carrying its structured fields in [args]. *)
+      instant event carrying its structured fields in [args]. Derived
+      layers: {!Trace.Wait_begin}/[Wait_end] pairs become complete slices
+      (["ph":"X"], named [wait:<bucket>], duration included); cross-node
+      causality becomes flow arrows (["ph":"s"/"f"]) — message send to
+      receive, remote lock acquire to the grant that satisfied it, diff
+      request to the writer's reply; and counter tracks (["ph":"C"])
+      chart per-node cumulative sent bytes and sampled protocol memory. *)
 
 type format = Jsonl | Chrome
 
@@ -24,5 +30,8 @@ val jsonl : Trace.sink -> string
     (e.g. ["lu/hlrc/8"]). *)
 val chrome : ?name:string -> Trace.sink -> string
 
-(** Write the sink to [file] in [format]. *)
+(** Write the sink to [file] in [format] (binary mode, so output is
+    byte-identical across platforms). The channel is closed even when the
+    write fails; an I/O failure raises [Failure] with a one-line
+    description instead of leaking [Sys_error]. *)
 val write_file : format -> ?name:string -> string -> Trace.sink -> unit

@@ -1,3 +1,15 @@
+(* Which Figure-3 wait bucket a span covers. [Wb_home] spans annotate a
+   home-wait nested inside an outer lock/barrier wait (the node stays
+   blocked under the outer bucket while its own master copies catch up). *)
+type wait_bucket = Wb_data | Wb_lock | Wb_barrier | Wb_gc | Wb_home
+
+let bucket_name = function
+  | Wb_data -> "data"
+  | Wb_lock -> "lock"
+  | Wb_barrier -> "barrier"
+  | Wb_gc -> "gc"
+  | Wb_home -> "home"
+
 type kind =
   | Page_fetch of { page : int; home : int }
   | Page_fetch_pending of { page : int }
@@ -26,6 +38,10 @@ type kind =
   | Msg_ack of { dst : int; upto : int }
   | Msg_duplicate_dropped of { src : int; seq : int }
   | Watchdog_stall of { blocked : int; inflight : int }
+  | Wait_begin of { span : int; bucket : wait_bucket; resource : int }
+  | Wait_end of { span : int; bucket : wait_bucket; resource : int }
+  | Mem_sample of { bytes : int }
+  | Diff_reply of { page : int; dst : int; bytes : int }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -57,6 +73,10 @@ let kind_name = function
   | Msg_ack _ -> "msg_ack"
   | Msg_duplicate_dropped _ -> "msg_duplicate_dropped"
   | Watchdog_stall _ -> "watchdog_stall"
+  | Wait_begin _ -> "wait_begin"
+  | Wait_end _ -> "wait_end"
+  | Mem_sample _ -> "mem_sample"
+  | Diff_reply _ -> "diff_reply"
 
 let kind_fields = function
   | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
@@ -112,6 +132,15 @@ let kind_fields = function
   | Msg_duplicate_dropped { src; seq } -> [ ("src", Json.Int src); ("seq", Json.Int seq) ]
   | Watchdog_stall { blocked; inflight } ->
       [ ("blocked", Json.Int blocked); ("inflight", Json.Int inflight) ]
+  | Wait_begin { span; bucket; resource } | Wait_end { span; bucket; resource } ->
+      [
+        ("span", Json.Int span);
+        ("bucket", Json.String (bucket_name bucket));
+        ("resource", Json.Int resource);
+      ]
+  | Mem_sample { bytes } -> [ ("bytes", Json.Int bytes) ]
+  | Diff_reply { page; dst; bytes } ->
+      [ ("page", Json.Int page); ("dst", Json.Int dst); ("bytes", Json.Int bytes) ]
 
 let to_json ev =
   Json.Obj
@@ -177,7 +206,11 @@ let render = function
       Some
         (Printf.sprintf "watchdog: no progress (%d blocked nodes, %d in-flight packets)" blocked
            inflight)
-  | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ -> None
+  (* Causal-layer kinds (spans, counter samples, reply correlation) are
+     opt-in and machine-oriented; they have no legacy line either. *)
+  | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ | Wait_begin _
+  | Wait_end _ | Mem_sample _ | Diff_reply _ ->
+      None
 
 (* ------------------------------------------------------------------ *)
 (* Bounded sink: a growing array capped at [capacity]; overflow is      *)
@@ -216,5 +249,7 @@ let iter s f =
   done
 
 let length s = s.len
+
+let capacity s = s.capacity
 
 let dropped s = s.n_dropped

@@ -15,6 +15,16 @@
     tracer printed ([None] for kinds that had no legacy line, such as
     message send/receive). *)
 
+(** Figure-3 wait bucket of a {!Wait_begin}/{!Wait_end} span. [Wb_home]
+    annotates a home-wait nested inside an outer lock/barrier wait (the
+    node stays blocked under the outer bucket while in-flight diffs reach
+    its own master copies). *)
+type wait_bucket = Wb_data | Wb_lock | Wb_barrier | Wb_gc | Wb_home
+
+(** Stable lowercase tag of the bucket (["data"] | ["lock"] | ["barrier"] |
+    ["gc"] | ["home"]), as serialized in exports. *)
+val bucket_name : wait_bucket -> string
+
 type kind =
   | Page_fetch of { page : int; home : int }  (** Home-based fetch request. *)
   | Page_fetch_pending of { page : int }  (** Home defers a fetch: flush behind. *)
@@ -53,6 +63,19 @@ type kind =
   | Watchdog_stall of { blocked : int; inflight : int }
       (** No-progress watchdog: quiescent engine with unfinished nodes, or
           a transport retry-cap breach. *)
+  | Wait_begin of { span : int; bucket : wait_bucket; resource : int }
+      (** A wait interval opens. [span] is a run-unique id pairing it with
+          its {!Wait_end}; [resource] is the page (data/home waits), lock
+          (lock waits) or epoch (barrier waits) being waited on. Emitted
+          only when {!Config.trace_spans} is on. *)
+  | Wait_end of { span : int; bucket : wait_bucket; resource : int }
+      (** The matching wait interval closes (same gating). *)
+  | Mem_sample of { bytes : int }
+      (** Periodic sample of the node's live protocol memory (barrier
+          arrivals and GC starts), for counter tracks (same gating). *)
+  | Diff_reply of { page : int; dst : int; bytes : int }
+      (** A writer starts the reply to a {!Diff_request} from [dst]; lets
+          the exporter draw the request→reply flow (same gating). *)
 
 type event = {
   time : float;  (** Simulated time, microseconds. *)
@@ -94,6 +117,9 @@ val iter : sink -> (event -> unit) -> unit
 
 (** Number of stored events. *)
 val length : sink -> int
+
+(** The sink's configured capacity. *)
+val capacity : sink -> int
 
 (** Events discarded because the sink was full. *)
 val dropped : sink -> int

@@ -12,6 +12,7 @@ let () =
       ("sync", Test_sync.suite);
       ("gc", Test_gc.suite);
       ("stats", Test_stats.suite);
+      ("critical_path", Test_critical_path.suite);
       ("apps", Test_apps.suite);
       ("harness", Test_harness.suite);
       ("overlap", Test_overlap.suite);

@@ -110,37 +110,119 @@ let test_jsonl_roundtrip () =
             (Option.bind (Obs.Json.member "ts" j) Obs.Json.to_float = Some ev.Obs.Trace.time))
     lines (Obs.Trace.events sink)
 
-let test_chrome_wellformed () =
-  let nprocs = 4 in
-  let _, sink = traced_run ~nprocs () in
+let chrome_events sink =
   let doc =
     match Obs.Json.of_string (Obs.Export.chrome ~name:"lu/hlrc" sink) with
     | Ok j -> j
     | Error e -> Alcotest.fail e
   in
-  let events =
-    match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
-    | Some l -> l
-    | None -> Alcotest.fail "no traceEvents array"
-  in
-  let str name j =
-    match Obs.Json.member name j with Some (Obs.Json.String s) -> Some s | _ -> None
-  in
-  let phase j = str "ph" j in
-  let metadata, instants = List.partition (fun j -> phase j = Some "M") events in
+  match Option.bind (Obs.Json.member "traceEvents" doc) Obs.Json.to_list with
+  | Some l -> l
+  | None -> Alcotest.fail "no traceEvents array"
+
+let json_str name j =
+  match Obs.Json.member name j with Some (Obs.Json.String s) -> Some s | _ -> None
+
+let test_chrome_wellformed () =
+  let nprocs = 4 in
+  let _, sink = traced_run ~nprocs () in
+  let events = chrome_events sink in
+  let phase j = json_str "ph" j in
+  let by p = List.filter (fun j -> phase j = Some p) events in
   (* one process_name + one thread_name per node *)
-  check Alcotest.int "metadata records" (1 + nprocs) (List.length metadata);
-  check Alcotest.int "one instant per trace event" (Obs.Trace.length sink)
-    (List.length instants);
+  check Alcotest.int "metadata records" (1 + nprocs) (List.length (by "M"));
+  check Alcotest.int "one instant per stored event" (Obs.Trace.length sink)
+    (List.length (by "i"));
   List.iter
     (fun j ->
-      check Alcotest.bool "instant phase" true (phase j = Some "i");
       let tid = Option.bind (Obs.Json.member "tid" j) Obs.Json.to_int in
       check Alcotest.bool "tid is a node id" true
         (match tid with Some t -> t >= 0 && t < nprocs | None -> false);
       check Alcotest.bool "has a timestamp" true
         (Option.bind (Obs.Json.member "ts" j) Obs.Json.to_float <> None))
-    instants
+    (by "i");
+  (* flow arrows come in pairs: the start and finish id multisets match *)
+  let ids p =
+    List.sort compare
+      (List.filter_map (fun j -> Option.bind (Obs.Json.member "id" j) Obs.Json.to_int) (by p))
+  in
+  check Alcotest.(list int) "every flow start has its finish" (ids "s") (ids "f");
+  check Alcotest.bool "flows were drawn" true (ids "s" <> []);
+  (* counter tracks (cumulative sent bytes) carry their value in args *)
+  check Alcotest.bool "sent-bytes counters exist" true (by "C" <> []);
+  List.iter
+    (fun j ->
+      check Alcotest.bool "counter has args" true (Obs.Json.member "args" j <> None))
+    (by "C")
+
+(* The causal layer (Config.trace_spans): waits export as "ph":"X" slices
+   with non-negative durations named after their Figure-3 bucket, and memory
+   counter tracks appear alongside the traffic ones. *)
+let profiled_run ?(protocol = Svm.Config.Hlrc) ?(nprocs = 4) () =
+  let app = Apps.Registry.lu Apps.Registry.Test in
+  let sink = Obs.Trace.create_sink () in
+  let cfg = Svm.Config.make ~nprocs ~trace_spans:true protocol in
+  let r = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:false) in
+  (r, sink)
+
+let test_chrome_causal_layer () =
+  let _, sink = profiled_run () in
+  let events = chrome_events sink in
+  let xs = List.filter (fun j -> json_str "ph" j = Some "X") events in
+  check Alcotest.bool "wait slices exist" true (xs <> []);
+  List.iter
+    (fun j ->
+      (match Option.bind (Obs.Json.member "dur" j) Obs.Json.to_float with
+      | Some d -> check Alcotest.bool "slice duration non-negative" true (d >= 0.)
+      | None -> Alcotest.fail "complete event without dur");
+      match json_str "name" j with
+      | Some n ->
+          check Alcotest.bool "slice named after its bucket" true
+            (String.length n > 5 && String.sub n 0 5 = "wait:")
+      | None -> Alcotest.fail "complete event without name")
+    xs
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* Regression for the byte-identity guarantee: without Config.trace_spans
+   the runtime must emit none of the causal-layer kinds, so default JSONL
+   output is unchanged from before the profiler existed. *)
+let test_default_trace_has_no_causal_kinds () =
+  let _, sink = traced_run () in
+  let doc = Obs.Export.jsonl sink in
+  List.iter
+    (fun k ->
+      check Alcotest.bool (k ^ " absent without trace_spans") false
+        (contains doc (Printf.sprintf "\"ev\":%S" k)))
+    [ "wait_begin"; "wait_end"; "mem_sample"; "diff_reply" ]
+
+(* Both exporters surface sink truncation rather than hiding it. *)
+let test_export_overflow_records () =
+  let app = Apps.Registry.lu Apps.Registry.Test in
+  let sink = Obs.Trace.create_sink ~capacity:50 () in
+  let cfg = Svm.Config.make ~nprocs:4 Svm.Config.Hlrc in
+  ignore (Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:false));
+  check Alcotest.bool "sink overflowed" true (Obs.Trace.dropped sink > 0);
+  let tail =
+    match List.rev (String.split_on_char '\n' (String.trim (Obs.Export.jsonl sink))) with
+    | last :: _ -> last
+    | [] -> Alcotest.fail "empty jsonl"
+  in
+  check Alcotest.bool "jsonl ends with the dropped record" true
+    (contains tail "\"ev\":\"dropped\"");
+  check Alcotest.bool "chrome reports droppedEvents" true
+    (contains (Obs.Export.chrome sink) "\"droppedEvents\":")
+
+let test_write_file_reports_errors () =
+  let sink = Obs.Trace.create_sink ~capacity:4 () in
+  match Obs.Export.write_file Obs.Export.Jsonl "/nonexistent-dir-xyz/trace.jsonl" sink with
+  | () -> Alcotest.fail "writing into a missing directory succeeded"
+  | exception Failure msg ->
+      check Alcotest.bool "one-line error names the problem" true
+        (contains msg "cannot write trace file")
 
 (* ------------------------------------------------------------------ *)
 (* Legacy string-trace adapter *)
@@ -232,6 +314,28 @@ let test_validate_rejects_malformed () =
            (List.map (fun (k, v) -> if k = "nodes" then (k, Obs.Json.List []) else (k, v)) fields))
   | _ -> Alcotest.fail "encode did not return an object")
 
+(* The trace and critical_path report sections are opt-in: absent (and the
+   report byte-identical to before) unless explicitly passed, and the
+   validator accepts them when present. *)
+let test_report_optional_sections () =
+  let r, sink = profiled_run () in
+  let plain = Svm.Report_json.to_string r in
+  check Alcotest.bool "no trace section by default" false (contains plain "\"trace\":");
+  check Alcotest.bool "no critical_path section by default" false
+    (contains plain "\"critical_path\":");
+  let cp = Obs.Critical_path.analyze sink in
+  let full = Svm.Report_json.to_string ~critical_path:cp ~trace:sink r in
+  check Alcotest.bool "trace section surfaces dropped count" true
+    (contains full "\"dropped\":");
+  check Alcotest.bool "critical_path section present" true
+    (contains full "\"critical_path\":");
+  match Obs.Json.of_string full with
+  | Error e -> Alcotest.failf "report with sections is not JSON: %s" e
+  | Ok j -> (
+      match Svm.Report_json.validate j with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "report with sections rejected: %s" e)
+
 let suite =
   [
     ("json round-trip", `Quick, test_json_roundtrip);
@@ -242,6 +346,11 @@ let suite =
     ("trace covers the protocol activity", `Quick, test_trace_covers_protocol_activity);
     ("jsonl export round-trips", `Quick, test_jsonl_roundtrip);
     ("chrome export is well-formed", `Quick, test_chrome_wellformed);
+    ("chrome causal layer (spans and counters)", `Quick, test_chrome_causal_layer);
+    ("default trace has no causal kinds", `Quick, test_default_trace_has_no_causal_kinds);
+    ("exporters record sink overflow", `Quick, test_export_overflow_records);
+    ("write_file reports errors cleanly", `Quick, test_write_file_reports_errors);
+    ("report sections are opt-in and validate", `Quick, test_report_optional_sections);
     ("legacy adapter matches the typed stream", `Quick, test_legacy_adapter_matches_typed_stream);
     ("legacy render produces the exact old strings", `Quick, test_legacy_render_exact_strings);
     ("report JSON validates", `Quick, test_report_validates);

@@ -39,6 +39,107 @@ let test_epoch_deltas () =
       check (Alcotest.float 0.) "second epoch lock" 2. e2.Svm.Stats.lock
   | other -> Alcotest.failf "expected 2 epochs, got %d" (List.length other)
 
+(* Subtraction is componentwise over every field, not just the ones the
+   older tests happened to touch. *)
+let test_breakdown_sub_componentwise () =
+  let fill v =
+    let b = Svm.Stats.breakdown_zero () in
+    b.Svm.Stats.compute <- v;
+    b.Svm.Stats.data <- v +. 1.;
+    b.Svm.Stats.lock <- v +. 2.;
+    b.Svm.Stats.barrier <- v +. 3.;
+    b.Svm.Stats.protocol <- v +. 4.;
+    b.Svm.Stats.gc <- v +. 5.;
+    b
+  in
+  let d = Svm.Stats.breakdown_sub (fill 10.) (fill 3.) in
+  List.iter
+    (fun (name, got) -> check (Alcotest.float 0.) name 7. got)
+    [
+      ("compute", d.Svm.Stats.compute);
+      ("data", d.Svm.Stats.data);
+      ("lock", d.Svm.Stats.lock);
+      ("barrier", d.Svm.Stats.barrier);
+      ("protocol", d.Svm.Stats.protocol);
+      ("gc", d.Svm.Stats.gc);
+    ];
+  check (Alcotest.float 0.) "total of the difference" 42. (Svm.Stats.breakdown_total d)
+
+let test_counters_sub_componentwise () =
+  let fill v =
+    let c = Svm.Stats.counters_zero () in
+    c.Svm.Stats.read_misses <- v;
+    c.Svm.Stats.write_faults <- v + 1;
+    c.Svm.Stats.diffs_created <- v + 2;
+    c.Svm.Stats.diffs_applied <- v + 3;
+    c.Svm.Stats.lock_acquires <- v + 4;
+    c.Svm.Stats.remote_acquires <- v + 5;
+    c.Svm.Stats.barriers <- v + 6;
+    c.Svm.Stats.messages <- v + 7;
+    c.Svm.Stats.update_bytes <- v + 8;
+    c.Svm.Stats.protocol_bytes <- v + 9;
+    c.Svm.Stats.page_fetches <- v + 10;
+    c.Svm.Stats.gc_runs <- v + 11;
+    c.Svm.Stats.home_migrations <- v + 12;
+    c.Svm.Stats.msg_drops <- v + 13;
+    c.Svm.Stats.msg_retransmits <- v + 14;
+    c.Svm.Stats.msg_acks <- v + 15;
+    c.Svm.Stats.msg_dup_dropped <- v + 16;
+    c
+  in
+  let d = Svm.Stats.counters_sub (fill 20) (fill 5) in
+  List.iter
+    (fun (name, got) -> check Alcotest.int name 15 got)
+    [
+      ("read_misses", d.Svm.Stats.read_misses);
+      ("write_faults", d.Svm.Stats.write_faults);
+      ("diffs_created", d.Svm.Stats.diffs_created);
+      ("diffs_applied", d.Svm.Stats.diffs_applied);
+      ("lock_acquires", d.Svm.Stats.lock_acquires);
+      ("remote_acquires", d.Svm.Stats.remote_acquires);
+      ("barriers", d.Svm.Stats.barriers);
+      ("messages", d.Svm.Stats.messages);
+      ("update_bytes", d.Svm.Stats.update_bytes);
+      ("protocol_bytes", d.Svm.Stats.protocol_bytes);
+      ("page_fetches", d.Svm.Stats.page_fetches);
+      ("gc_runs", d.Svm.Stats.gc_runs);
+      ("home_migrations", d.Svm.Stats.home_migrations);
+      ("msg_drops", d.Svm.Stats.msg_drops);
+      ("msg_retransmits", d.Svm.Stats.msg_retransmits);
+      ("msg_acks", d.Svm.Stats.msg_acks);
+      ("msg_dup_dropped", d.Svm.Stats.msg_dup_dropped);
+    ]
+
+(* Epoch deltas: chronological, the first epoch measured from zero, none
+   before the first mark, and the deltas sum back to the final totals. *)
+let test_epoch_deltas_invariants () =
+  let s = Svm.Stats.create () in
+  check Alcotest.int "no epochs before the first mark" 0
+    (List.length (Svm.Stats.epoch_deltas s));
+  s.Svm.Stats.b.Svm.Stats.compute <- 3.;
+  s.Svm.Stats.b.Svm.Stats.barrier <- 1.;
+  Svm.Stats.mark_epoch s;
+  s.Svm.Stats.b.Svm.Stats.compute <- 8.;
+  Svm.Stats.mark_epoch s;
+  s.Svm.Stats.b.Svm.Stats.compute <- 9.;
+  s.Svm.Stats.b.Svm.Stats.gc <- 2.;
+  Svm.Stats.mark_epoch s;
+  let deltas = Svm.Stats.epoch_deltas s in
+  check Alcotest.int "one delta per mark" 3 (List.length deltas);
+  (match deltas with
+  | first :: _ ->
+      check (Alcotest.float 0.) "first epoch measured from zero" 3. first.Svm.Stats.compute;
+      check (Alcotest.float 0.) "first epoch barrier" 1. first.Svm.Stats.barrier
+  | [] -> Alcotest.fail "no deltas");
+  let sum field = List.fold_left (fun acc d -> acc +. field d) 0. deltas in
+  check (Alcotest.float 1e-9) "compute deltas telescope" 9. (sum (fun d -> d.Svm.Stats.compute));
+  check (Alcotest.float 1e-9) "gc deltas telescope" 2. (sum (fun d -> d.Svm.Stats.gc));
+  List.iter
+    (fun d ->
+      check Alcotest.bool "deltas are non-negative" true
+        (Svm.Stats.breakdown_total d >= 0.))
+    deltas
+
 (* End-to-end bookkeeping: message counts and traffic split. *)
 let test_traffic_bookkeeping () =
   let app ctx =
@@ -155,6 +256,9 @@ let suite =
     ("breakdown arithmetic", `Quick, test_breakdown_arithmetic);
     ("counters arithmetic", `Quick, test_counters_arithmetic);
     ("epoch deltas", `Quick, test_epoch_deltas);
+    ("breakdown_sub is componentwise", `Quick, test_breakdown_sub_componentwise);
+    ("counters_sub is componentwise", `Quick, test_counters_sub_componentwise);
+    ("epoch delta invariants", `Quick, test_epoch_deltas_invariants);
     ("traffic bookkeeping", `Quick, test_traffic_bookkeeping);
     ("single node has no traffic", `Quick, test_single_node_no_traffic);
     ("home effect: no diffs (paper 4.4)", `Quick, test_home_effect_no_diffs);
