@@ -14,9 +14,21 @@
 
    Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
    --fault-seed apply one chaos plan to every simulated cell (chaos-soak
-   ignores them and sweeps its own plans). *)
+   ignores them and sweeps its own plans).
+
+   Parallelism: --jobs N evaluates independent cells on N domains
+   (default: recommended_domain_count - 1). Output is byte-identical to
+   --jobs 1. *)
 
 let default_nodes = [ 8; 32; 64 ]
+
+let known_artifacts =
+  [
+    "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3"; "figure4";
+    "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
+    "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "chaos-soak"; "profile";
+    "micro"; "all";
+  ]
 
 type options = {
   mutable scale : Apps.Registry.scale;
@@ -28,6 +40,7 @@ type options = {
   mutable trace_format : Obs.Export.format;
   mutable trace_cap : int;
   mutable chaos : Machine.Chaos.params;
+  mutable jobs : int;
 }
 
 let parse_args () =
@@ -42,6 +55,7 @@ let parse_args () =
       trace_format = Obs.Export.Jsonl;
       trace_cap = 1_000_000;
       chaos = Machine.Chaos.none;
+      jobs = Harness.Pool.default_jobs ();
     }
   in
   let rate name s =
@@ -49,8 +63,13 @@ let parse_args () =
     | Some x -> x
     | None -> failwith (Printf.sprintf "%s: expected a number, got %S" name s)
   in
+  let missing flag = failwith (Printf.sprintf "%s: missing value" flag) in
   let rec go = function
     | [] -> ()
+    | [ (( "--scale" | "--nodes" | "--drop-rate" | "--dup-rate" | "--jitter"
+         | "--straggler" | "--fault-seed" | "--json" | "--trace-out" | "--trace-format"
+         | "--trace-cap" | "--jobs" ) as flag) ] ->
+        missing flag
     | "--scale" :: s :: rest ->
         (o.scale <-
           (match String.lowercase_ascii s with
@@ -113,8 +132,22 @@ let parse_args () =
           | Some n -> failwith (Printf.sprintf "--trace-cap: must be positive, got %d" n)
           | None -> failwith (Printf.sprintf "--trace-cap: expected an integer, got %S" s)));
         go rest
+    | "--jobs" :: s :: rest ->
+        (o.jobs <-
+          (match int_of_string_opt s with
+          | Some n when n > 0 -> n
+          | Some n -> failwith (Printf.sprintf "--jobs: must be positive, got %d" n)
+          | None -> failwith (Printf.sprintf "--jobs: expected an integer, got %S" s)));
+        go rest
+    | flag :: _ when String.length flag >= 2 && String.sub flag 0 2 = "--" ->
+        failwith (Printf.sprintf "unknown option %S" flag)
     | arg :: rest ->
-        o.artifacts <- o.artifacts @ [ String.lowercase_ascii arg ];
+        let artifact = String.lowercase_ascii arg in
+        if not (List.mem artifact known_artifacts) then
+          failwith
+            (Printf.sprintf "unknown artifact %S (expected one of: %s)" arg
+               (String.concat " " known_artifacts));
+        o.artifacts <- o.artifacts @ [ artifact ];
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
@@ -229,49 +262,67 @@ let () =
     | Some _ -> Some (Obs.Trace.create_sink ~capacity:o.trace_cap ())
   in
   let m = Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos ~scale:o.scale () in
+  let pool = Harness.Pool.create ~jobs:o.jobs in
   let failures = ref 0 in
   Harness.Matrix.on_progress m (fun s -> Format.eprintf "  [%s]@." s);
-  let run = function
-    | "table1" -> Harness.Tables.table1 ppf m
-    | "table2" -> Harness.Tables.table2 ppf m ~node_counts:o.nodes
+  (* With --jobs 1 the prefetch is skipped entirely and every cell is
+     simulated inline by its renderer, exactly as before; with a wider pool
+     the renderer's cells are evaluated on the pool first (in first-use
+     order, so progress lines and trace events keep the sequential order)
+     and the renderer then reads them from the memo cache. *)
+  let prefetch cells = if Harness.Pool.jobs pool > 1 then Harness.Matrix.prefetch m pool cells in
+  let rec run = function
+    | "table1" ->
+        prefetch (Harness.Tables.table1_cells m);
+        Harness.Tables.table1 ppf m
+    | "table2" ->
+        prefetch (Harness.Tables.table2_cells m ~node_counts:o.nodes);
+        Harness.Tables.table2 ppf m ~node_counts:o.nodes
     | "table3" -> Harness.Tables.table3 ppf
-    | "table4" -> Harness.Tables.table4 ppf m ~node_counts:o.nodes
-    | "table5" -> Harness.Tables.table5 ppf m ~node_counts:o.nodes
-    | "table6" -> Harness.Tables.table6 ppf m ~node_counts:o.nodes
-    | "figure3" -> Harness.Tables.figure3 ppf m ~node_counts:o.nodes
-    | "figure4" -> Harness.Tables.figure4 ppf m ~node_counts:o.nodes ~epoch:9
-    | "sor-zero" -> Harness.Tables.sor_zero ppf m ~node_counts:o.nodes
-    | "ablation-homes" -> Harness.Ablations.home_placement ppf ~scale:o.scale ~node_counts:o.nodes
+    | "table4" ->
+        prefetch (Harness.Tables.table4_cells m ~node_counts:o.nodes);
+        Harness.Tables.table4 ppf m ~node_counts:o.nodes
+    | "table5" ->
+        prefetch (Harness.Tables.table5_cells m ~node_counts:o.nodes);
+        Harness.Tables.table5 ppf m ~node_counts:o.nodes
+    | "table6" ->
+        prefetch (Harness.Tables.table6_cells m ~node_counts:o.nodes);
+        Harness.Tables.table6 ppf m ~node_counts:o.nodes
+    | "figure3" ->
+        prefetch (Harness.Tables.figure3_cells m ~node_counts:o.nodes);
+        Harness.Tables.figure3 ppf m ~node_counts:o.nodes
+    | "figure4" ->
+        prefetch (Harness.Tables.figure4_cells m ~node_counts:o.nodes);
+        Harness.Tables.figure4 ppf m ~node_counts:o.nodes ~epoch:9
+    | "sor-zero" ->
+        prefetch (Harness.Tables.sor_zero_cells m ~node_counts:o.nodes);
+        Harness.Tables.sor_zero ppf m ~node_counts:o.nodes
+    | "ablation-homes" ->
+        Harness.Ablations.home_placement ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
     | "ablation-network" ->
-        Harness.Ablations.network_sensitivity ppf ~scale:o.scale ~node_counts:o.nodes
-    | "ablation-pagesize" -> Harness.Ablations.page_size ppf ~scale:o.scale ~node_counts:o.nodes
-    | "ablation-locks" -> Harness.Ablations.coproc_locks ppf ~scale:o.scale ~node_counts:o.nodes
-    | "aurc" | "protocols" -> Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes
+        Harness.Ablations.network_sensitivity ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
+    | "ablation-pagesize" ->
+        Harness.Ablations.page_size ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
+    | "ablation-locks" ->
+        Harness.Ablations.coproc_locks ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
+    | "aurc" | "protocols" ->
+        prefetch (Harness.Ablations.aurc_cells m ~node_counts:o.nodes);
+        Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes
     | "ablation-migration" ->
-        Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes
+        Harness.Ablations.home_migration ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
     | "chaos-soak" ->
-        if not (Harness.Soak.report ppf ~scale:o.scale ()) then incr failures
+        if not (Harness.Soak.report ppf ~pool ~scale:o.scale ()) then incr failures
     | "profile" ->
-        Harness.Profile.report ppf ~verify:o.verify ~chaos:o.chaos ~trace_cap:o.trace_cap
-          ~scale:o.scale ~node_counts:o.nodes ()
+        Harness.Profile.report ppf ~pool ~verify:o.verify ~chaos:o.chaos
+          ~trace_cap:o.trace_cap ~scale:o.scale ~node_counts:o.nodes ()
     | "micro" -> micro ()
     | "all" ->
-        Harness.Tables.table1 ppf m;
-        Harness.Tables.table2 ppf m ~node_counts:o.nodes;
-        Harness.Tables.table3 ppf;
-        Harness.Tables.table4 ppf m ~node_counts:o.nodes;
-        Harness.Tables.table5 ppf m ~node_counts:o.nodes;
-        Harness.Tables.table6 ppf m ~node_counts:o.nodes;
-        Harness.Tables.figure3 ppf m ~node_counts:o.nodes;
-        Harness.Tables.figure4 ppf m ~node_counts:o.nodes ~epoch:9;
-        Harness.Tables.sor_zero ppf m ~node_counts:o.nodes;
-        Harness.Ablations.home_placement ppf ~scale:o.scale ~node_counts:o.nodes;
-        Harness.Ablations.network_sensitivity ppf ~scale:o.scale ~node_counts:o.nodes;
-        Harness.Ablations.page_size ppf ~scale:o.scale ~node_counts:o.nodes;
-        Harness.Ablations.coproc_locks ppf ~scale:o.scale ~node_counts:o.nodes;
-        Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes;
-        Harness.Ablations.home_migration ppf ~scale:o.scale ~node_counts:o.nodes;
-        micro ()
+        List.iter run
+          [
+            "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3";
+            "figure4"; "sor-zero"; "ablation-homes"; "ablation-network";
+            "ablation-pagesize"; "ablation-locks"; "aurc"; "ablation-migration"; "micro";
+          ]
     | other -> failwith (Printf.sprintf "unknown artifact %S" other)
   in
   List.iter run o.artifacts;

@@ -21,6 +21,16 @@ let protocol_of_string s =
   let s = String.lowercase_ascii s in
   List.find_opt (fun p -> String.lowercase_ascii (protocol_name p) = s) extended_protocols
 
+(* Position in [extended_protocols]: the paper's LRC/OLRC/HLRC/OHLRC column
+   order (then AURC, RC), used wherever cells must sort the way the tables
+   read rather than alphabetically. *)
+let protocol_rank p =
+  let rec go i = function
+    | [] -> assert false (* extended_protocols enumerates every constructor *)
+    | q :: tl -> if q = p then i else go (i + 1) tl
+  in
+  go 0 extended_protocols
+
 let home_based = function Hlrc | Ohlrc | Aurc -> true | Lrc | Olrc | Rc -> false
 
 let overlapped = function Olrc | Ohlrc -> true | Lrc | Hlrc | Aurc | Rc -> false

@@ -29,6 +29,12 @@ val protocol_strings : string list
 
 val protocol_of_string : string -> protocol option
 
+(** Position of the protocol in {!extended_protocols} — the paper's
+    LRC/OLRC/HLRC/OHLRC column order (then AURC, RC). Sorting by this keeps
+    machine-readable dumps aligned with the tables, which alphabetical
+    order by {!protocol_name} does not. *)
+val protocol_rank : protocol -> int
+
 (** Home-based protocols maintain a master copy of each page at a home node
     (HLRC/OHLRC); homeless ones keep diffs distributed at the writers. *)
 val home_based : protocol -> bool

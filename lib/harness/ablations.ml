@@ -3,7 +3,15 @@
    These go beyond the paper's tables: each isolates one mechanism the
    paper argues about in prose — home placement (§4.4), the
    latency/interrupt sensitivity of the homeless-vs-home-based gap (§4.8
-   discussion), and the page-size-induced false-sharing trade-off (§1). *)
+   discussion), and the page-size-induced false-sharing trade-off (§1).
+
+   Every ablation is phrased as: enumerate the runs its table needs (in row
+   order), evaluate them through a {!Pool} (each run is a self-contained
+   simulation), then render from the results. With the sequential pool the
+   runs happen in exactly the old inline order; with a parallel pool the
+   rendered bytes are identical because rendering never starts until every
+   run is done. Spec keys avoid [Apps.Registry.t] values (closures break
+   structural equality) — apps are keyed by name. *)
 
 let title ppf s = Format.fprintf ppf "@.=== %s ===@.@." s
 
@@ -13,6 +21,12 @@ let elapsed_of cfg body =
   let r = Svm.Runtime.run cfg (body ~verify:false) in
   (r.Svm.Runtime.r_elapsed, r)
 
+(* Evaluate [run] over [specs] on the pool and hand back an exact-match
+   lookup (specs are small comparable tuples). *)
+let evaluate pool specs run =
+  let results = Pool.map pool (fun spec -> (spec, run spec)) specs in
+  fun spec -> List.assoc spec results
+
 (* --- Home placement (paper 4.4: "if homes are chosen intelligently") --- *)
 
 let lu_params scale =
@@ -21,21 +35,32 @@ let lu_params scale =
   | Apps.Registry.Bench -> { Apps.Lu.default with n = 512; block = 32; flop_us = 0.7 }
   | Apps.Registry.Full -> { Apps.Lu.default with n = 1024; block = 32; flop_us = 0.7 }
 
-let home_placement ppf ~scale ~node_counts =
+let home_placement ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
   title ppf "Ablation: home placement for LU under HLRC (paper 4.4)";
   Format.fprintf ppf "%-8s %14s %14s %14s %10s@." "nodes" "owner homes(s)" "round robin(s)"
     "allocator(s)" "owner gain";
   hline ppf 68;
-  List.iter
-    (fun np ->
-      let run ~owner_homes ~policy =
+  let specs =
+    List.concat_map
+      (fun np ->
+        [
+          (np, true, Svm.Config.Round_robin);
+          (np, false, Svm.Config.Round_robin);
+          (np, false, Svm.Config.Allocator);
+        ])
+      node_counts
+  in
+  let time =
+    evaluate pool specs (fun (np, owner_homes, policy) ->
         let p = { (lu_params scale) with Apps.Lu.owner_homes } in
         let cfg = Svm.Config.make ~home_policy:policy ~nprocs:np Svm.Config.Hlrc in
-        fst (elapsed_of cfg (fun ~verify ctx -> Apps.Lu.body ~verify p ctx))
-      in
-      let owner = run ~owner_homes:true ~policy:Svm.Config.Round_robin in
-      let rr = run ~owner_homes:false ~policy:Svm.Config.Round_robin in
-      let alloc = run ~owner_homes:false ~policy:Svm.Config.Allocator in
+        fst (elapsed_of cfg (fun ~verify ctx -> Apps.Lu.body ~verify p ctx)))
+  in
+  List.iter
+    (fun np ->
+      let owner = time (np, true, Svm.Config.Round_robin) in
+      let rr = time (np, false, Svm.Config.Round_robin) in
+      let alloc = time (np, false, Svm.Config.Allocator) in
       Format.fprintf ppf "%-8d %14.3f %14.3f %14.3f %9.2fx@." np (owner /. 1e6) (rr /. 1e6)
         (alloc /. 1e6)
         (Float.min rr alloc /. owner))
@@ -45,73 +70,138 @@ let home_placement ppf ~scale ~node_counts =
    messages... the performance gap between the home-based and the homeless
    protocols would probably be smaller") --- *)
 
-let network_sensitivity ppf ~scale ~node_counts =
+let network_sensitivity ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
   title ppf "Ablation: network sensitivity of the LRC/HLRC gap (paper 4.8 discussion)";
   Format.fprintf ppf
     "Paragon profile: 50us latency, 690us interrupt. Low-latency profile: 5us, 10us.@.@.";
   Format.fprintf ppf "%-16s %5s | %21s | %21s@." "" "nodes" "Paragon LRC/HLRC" "low-lat LRC/HLRC";
   hline ppf 75;
+  let apps = [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ] in
+  let app_of name =
+    List.find (fun (a : Apps.Registry.t) -> a.Apps.Registry.name = name) apps
+  in
+  let costs_of = function
+    | `Paragon -> Machine.Costs.paragon
+    | `Low_latency -> Machine.Costs.low_latency
+  in
+  let specs =
+    List.concat_map
+      (fun (app : Apps.Registry.t) ->
+        List.concat_map
+          (fun np ->
+            List.concat_map
+              (fun profile ->
+                List.map
+                  (fun proto -> (app.Apps.Registry.name, np, profile, proto))
+                  [ Svm.Config.Lrc; Svm.Config.Hlrc ])
+              [ `Paragon; `Low_latency ])
+          node_counts)
+      apps
+  in
+  let time =
+    evaluate pool specs (fun (name, np, profile, proto) ->
+        let cfg = Svm.Config.make ~costs:(costs_of profile) ~nprocs:np proto in
+        fst (elapsed_of cfg (app_of name).Apps.Registry.body))
+  in
   List.iter
     (fun (app : Apps.Registry.t) ->
       List.iter
         (fun np ->
-          let gap costs =
-            let run proto =
-              let cfg = Svm.Config.make ~costs ~nprocs:np proto in
-              fst (elapsed_of cfg app.Apps.Registry.body)
-            in
-            run Svm.Config.Lrc /. run Svm.Config.Hlrc
+          let gap profile =
+            time (app.Apps.Registry.name, np, profile, Svm.Config.Lrc)
+            /. time (app.Apps.Registry.name, np, profile, Svm.Config.Hlrc)
           in
           Format.fprintf ppf "%-16s %5d | %21.2f | %21.2f@." app.Apps.Registry.name np
-            (gap Machine.Costs.paragon)
-            (gap Machine.Costs.low_latency))
+            (gap `Paragon) (gap `Low_latency))
         node_counts)
-    [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ]
+    apps
 
 (* --- Page size (coherence granularity vs false sharing) --- *)
 
-let page_size ppf ~scale ~node_counts =
+let page_size ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
   title ppf "Ablation: page size (coherence granularity) under HLRC";
   Format.fprintf ppf "%-16s %5s | %12s %12s %12s@." "" "nodes" "4KB (s)" "8KB (s)" "16KB (s)";
   hline ppf 70;
+  let apps = [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ] in
+  let app_of name =
+    List.find (fun (a : Apps.Registry.t) -> a.Apps.Registry.name = name) apps
+  in
+  let specs =
+    List.concat_map
+      (fun (app : Apps.Registry.t) ->
+        List.concat_map
+          (fun np ->
+            List.map (fun pw -> (app.Apps.Registry.name, np, pw)) [ 512; 1024; 2048 ])
+          node_counts)
+      apps
+  in
+  let time =
+    evaluate pool specs (fun (name, np, page_words) ->
+        let cfg = Svm.Config.make ~page_words ~nprocs:np Svm.Config.Hlrc in
+        fst (elapsed_of cfg (app_of name).Apps.Registry.body) /. 1e6)
+  in
   List.iter
     (fun (app : Apps.Registry.t) ->
       List.iter
         (fun np ->
-          let run page_words =
-            let cfg = Svm.Config.make ~page_words ~nprocs:np Svm.Config.Hlrc in
-            fst (elapsed_of cfg app.Apps.Registry.body) /. 1e6
-          in
+          let t pw = time (app.Apps.Registry.name, np, pw) in
           Format.fprintf ppf "%-16s %5d | %12.3f %12.3f %12.3f@." app.Apps.Registry.name np
-            (run 512) (run 1024) (run 2048))
+            (t 512) (t 1024) (t 2048))
         node_counts)
-    [ Apps.Registry.sor scale; Apps.Registry.raytrace scale ]
+    apps
 
 (* --- Lock service placement (paper 4.3: "could be reduced to only 150us
    if this service were moved to the co-processor") --- *)
 
-let coproc_locks ppf ~scale ~node_counts =
+let coproc_locks ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
   title ppf "Ablation: lock service on the co-processor under OHLRC (paper 4.3 extension)";
   Format.fprintf ppf "%-16s %5s | %14s %14s %10s@." "" "nodes" "compute (s)" "coproc (s)"
     "gain";
   hline ppf 70;
+  let apps = [ Apps.Registry.water_nsq scale; Apps.Registry.raytrace scale ] in
+  let app_of name =
+    List.find (fun (a : Apps.Registry.t) -> a.Apps.Registry.name = name) apps
+  in
+  let specs =
+    List.concat_map
+      (fun (app : Apps.Registry.t) ->
+        List.concat_map
+          (fun np -> List.map (fun c -> (app.Apps.Registry.name, np, c)) [ false; true ])
+          node_counts)
+      apps
+  in
+  let time =
+    evaluate pool specs (fun (name, np, coproc_locks) ->
+        let cfg = Svm.Config.make ~coproc_locks ~nprocs:np Svm.Config.Ohlrc in
+        fst (elapsed_of cfg (app_of name).Apps.Registry.body) /. 1e6)
+  in
   List.iter
     (fun (app : Apps.Registry.t) ->
       List.iter
         (fun np ->
-          let run coproc_locks =
-            let cfg = Svm.Config.make ~coproc_locks ~nprocs:np Svm.Config.Ohlrc in
-            fst (elapsed_of cfg app.Apps.Registry.body) /. 1e6
-          in
-          let slow = run false and fast = run true in
+          let slow = time (app.Apps.Registry.name, np, false)
+          and fast = time (app.Apps.Registry.name, np, true) in
           Format.fprintf ppf "%-16s %5d | %14.3f %14.3f %9.2fx@." app.Apps.Registry.name np
             slow fast (slow /. fast))
         node_counts)
-    [ Apps.Registry.water_nsq scale; Apps.Registry.raytrace scale ]
+    apps
 
 (* --- The wider protocol family: eager RC (the predecessor LRC relaxed,
    paper 2), the paper's LRC/HLRC, and AURC (the hardware baseline HLRC
    approximates, paper 2.2-2.3 and references [15,16]) --- *)
+
+let aurc_protocols = [ Svm.Config.Rc; Svm.Config.Lrc; Svm.Config.Hlrc; Svm.Config.Aurc ]
+
+(* Matrix cells [aurc_comparison] will get, in first-use order (speedups
+   read the one-node HLRC baseline first) — see {!Tables.table2_cells}. *)
+let aurc_cells m ~node_counts =
+  List.concat_map
+    (fun (app : Apps.Registry.t) ->
+      List.concat_map
+        (fun np ->
+          (app, Svm.Config.Hlrc, 1) :: List.map (fun p -> (app, p, np)) aurc_protocols)
+        node_counts)
+    (Apps.Registry.all (Matrix.scale m))
 
 let aurc_comparison ppf m ~node_counts =
   title ppf "Protocol family: eager RC vs LRC vs HLRC vs AURC (paper 2.2-2.3)";
@@ -127,17 +217,23 @@ let aurc_comparison ppf m ~node_counts =
             float_of_int (Svm.Runtime.total_update_bytes (Matrix.get m app proto np))
             /. 1048576.0
           in
+          (* Bind left-to-right so the matrix-get order is explicit (fprintf
+             arguments evaluate right-to-left) and matches [aurc_cells]. *)
+          let s_rc = speedup Svm.Config.Rc in
+          let s_lrc = speedup Svm.Config.Lrc in
+          let s_hlrc = speedup Svm.Config.Hlrc in
+          let s_aurc = speedup Svm.Config.Aurc in
+          let u_rc = upd Svm.Config.Rc in
+          let u_aurc = upd Svm.Config.Aurc in
           Format.fprintf ppf "%-16s %5d | %8.2f %8.2f %8.2f %8.2f | %10.2f %10.2f@."
-            app.Apps.Registry.name np (speedup Svm.Config.Rc) (speedup Svm.Config.Lrc)
-            (speedup Svm.Config.Hlrc) (speedup Svm.Config.Aurc) (upd Svm.Config.Rc)
-            (upd Svm.Config.Aurc))
+            app.Apps.Registry.name np s_rc s_lrc s_hlrc s_aurc u_rc u_aurc)
         node_counts)
     (Apps.Registry.all (Matrix.scale m))
 
 (* --- Adaptive home migration (extension): repairing un-hinted placement
    at run time --- *)
 
-let home_migration ppf ~scale ~node_counts =
+let home_migration ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
   title ppf "Ablation: adaptive home migration under HLRC (extension)";
   Format.fprintf ppf
     "LU without placement hints (round-robin homes), with and without migration.@.@.";
@@ -145,13 +241,15 @@ let home_migration ppf ~scale ~node_counts =
     "gain";
   hline ppf 62;
   let p = { (lu_params scale) with Apps.Lu.owner_homes = false } in
+  let specs = List.concat_map (fun np -> [ (np, false); (np, true) ]) node_counts in
+  let report =
+    evaluate pool specs (fun (np, home_migration) ->
+        let cfg = Svm.Config.make ~home_migration ~nprocs:np Svm.Config.Hlrc in
+        Svm.Runtime.run cfg (fun ctx -> Apps.Lu.body ~verify:false p ctx))
+  in
   List.iter
     (fun np ->
-      let run home_migration =
-        let cfg = Svm.Config.make ~home_migration ~nprocs:np Svm.Config.Hlrc in
-        Svm.Runtime.run cfg (fun ctx -> Apps.Lu.body ~verify:false p ctx)
-      in
-      let fixed = run false and migrating = run true in
+      let fixed = report (np, false) and migrating = report (np, true) in
       let moves =
         Array.fold_left
           (fun acc n -> acc + n.Svm.Runtime.nr_counters.Svm.Stats.home_migrations)

@@ -4,7 +4,13 @@
    each cell once and caching the report keeps the full table set
    affordable. The sequential baseline for speedups is the pure computation
    time of a one-node run (protocol-independent; the paper measures real
-   sequential executables the same way). *)
+   sequential executables the same way).
+
+   Cells are self-contained (one [System.create] per run, per-run RNG and
+   trace sink), so uncached cells can also be evaluated concurrently on
+   OCaml 5 domains via {!prefetch}; the cache and the progress callback are
+   mutex-guarded, and per-cell sinks are merged into the shared sink in
+   request order so parallel runs stay byte-identical to sequential ones. *)
 
 type key = { k_app : string; k_proto : Svm.Config.protocol; k_np : int }
 
@@ -14,40 +20,100 @@ type t = {
   sink : Obs.Trace.sink option;
   chaos : Machine.Chaos.params;
   cache : (key, Svm.Runtime.report) Hashtbl.t;
+  mu : Mutex.t;  (* guards [cache] and serializes [progress] calls *)
   mutable progress : (string -> unit) option;
 }
 
 let create ?(verify = true) ?sink ?(chaos = Machine.Chaos.none) ~scale () =
-  { scale; verify; sink; chaos; cache = Hashtbl.create 64; progress = None }
+  {
+    scale;
+    verify;
+    sink;
+    chaos;
+    cache = Hashtbl.create 64;
+    mu = Mutex.create ();
+    progress = None;
+  }
 
 let on_progress t f = t.progress <- Some f
 
 let scale t = t.scale
 
-let get t (app : Apps.Registry.t) proto np =
-  let key = { k_app = app.Apps.Registry.name; k_proto = proto; k_np = np } in
-  match Hashtbl.find_opt t.cache key with
-  | Some r -> r
-  | None ->
-      (match t.progress with
-      | Some f ->
+let key_of (app : Apps.Registry.t) proto np =
+  { k_app = app.Apps.Registry.name; k_proto = proto; k_np = np }
+
+let announce t (app : Apps.Registry.t) proto np =
+  match t.progress with
+  | None -> ()
+  | Some f ->
+      (* Serialized so concurrent cells cannot interleave progress lines. *)
+      Mutex.protect t.mu (fun () ->
           f
             (Printf.sprintf "running %s / %s / %d nodes..." app.Apps.Registry.name
-               (Svm.Config.protocol_name proto) np)
-      | None -> ());
-      let cfg = Svm.Config.make ~nprocs:np ~chaos:t.chaos proto in
-      let r = Svm.Runtime.run ?sink:t.sink cfg (app.Apps.Registry.body ~verify:t.verify) in
-      Hashtbl.replace t.cache key r;
+               (Svm.Config.protocol_name proto) np))
+
+let run_cell t ?sink (app : Apps.Registry.t) proto np =
+  let cfg = Svm.Config.make ~nprocs:np ~chaos:t.chaos proto in
+  Svm.Runtime.run ?sink cfg (app.Apps.Registry.body ~verify:t.verify)
+
+let get t (app : Apps.Registry.t) proto np =
+  let key = key_of app proto np in
+  match Mutex.protect t.mu (fun () -> Hashtbl.find_opt t.cache key) with
+  | Some r -> r
+  | None ->
+      announce t app proto np;
+      let r = run_cell t ?sink:t.sink app proto np in
+      Mutex.protect t.mu (fun () -> Hashtbl.replace t.cache key r);
       r
 
-(* Cached cells in a deterministic (app, protocol, node-count) order, for
-   machine-readable dumps. *)
+let prefetch t pool cells =
+  let seen = Hashtbl.create 16 in
+  let todo =
+    List.filter
+      (fun (app, proto, np) ->
+        let key = key_of app proto np in
+        if Hashtbl.mem seen key || Mutex.protect t.mu (fun () -> Hashtbl.mem t.cache key)
+        then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      cells
+  in
+  (* Each concurrent cell traces into its own sink (same capacity as the
+     shared one); after the barrier the sinks are absorbed in request
+     order, which reproduces the sequential emission stream exactly. *)
+  let results =
+    Pool.map pool
+      (fun ((app : Apps.Registry.t), proto, np) ->
+        announce t app proto np;
+        let cell_sink =
+          Option.map
+            (fun s -> Obs.Trace.create_sink ~capacity:(Obs.Trace.capacity s) ())
+            t.sink
+        in
+        let r = run_cell t ?sink:cell_sink app proto np in
+        (key_of app proto np, r, cell_sink))
+      todo
+  in
+  List.iter
+    (fun (key, r, cell_sink) ->
+      (match (t.sink, cell_sink) with
+      | Some dst, Some src -> Obs.Trace.absorb dst src
+      | _ -> ());
+      Mutex.protect t.mu (fun () -> Hashtbl.replace t.cache key r))
+    results
+
+(* Cached cells in a deterministic order for machine-readable dumps:
+   application name, then the canonical protocol order of the paper's
+   tables (LRC, OLRC, HLRC, OHLRC, AURC, RC — [Config.protocol_rank]),
+   then node count. *)
 let cells t =
   Hashtbl.fold (fun k r acc -> (k.k_app, k.k_proto, k.k_np, r) :: acc) t.cache []
   |> List.sort (fun (a1, p1, n1, _) (a2, p2, n2, _) ->
          match compare a1 a2 with
          | 0 -> (
-             match compare (Svm.Config.protocol_name p1) (Svm.Config.protocol_name p2) with
+             match compare (Svm.Config.protocol_rank p1) (Svm.Config.protocol_rank p2) with
              | 0 -> compare n1 n2
              | c -> c)
          | c -> c)

@@ -27,6 +27,16 @@ val scale : t -> Apps.Registry.scale
 (** Run (or recall) one cell. *)
 val get : t -> Apps.Registry.t -> Svm.Config.protocol -> int -> Svm.Runtime.report
 
+(** [prefetch t pool cells] evaluates every not-yet-cached cell of [cells]
+    (duplicates ignored, order preserved) through [pool], so later {!get}s
+    are cache hits. Each concurrent cell is a self-contained simulation
+    tracing into its own sink; the per-cell sinks are merged into the
+    matrix's shared sink in [cells] order, and the progress callback is
+    mutex-serialized — so reports, dumps and traces are byte-identical to
+    a sequential run whose first [get]s happen in [cells] order. *)
+val prefetch :
+  t -> Pool.t -> (Apps.Registry.t * Svm.Config.protocol * int) list -> unit
+
 (** Sequential baseline: the computation-only time of a one-node run
     (protocol-independent; what the paper divides by for speedups). *)
 val seq_time : t -> Apps.Registry.t -> float
@@ -38,6 +48,8 @@ val speedup : t -> Apps.Registry.t -> Svm.Config.protocol -> int -> float
 val mean_counter : Svm.Runtime.report -> (Svm.Stats.counters -> int) -> float
 
 (** All cached cells as [(app, protocol, node_count, report)], sorted by
-    application name, protocol name, then node count — a deterministic
-    order for machine-readable dumps. *)
+    application name, canonical protocol order (LRC, OLRC, HLRC, OHLRC,
+    AURC, RC — see {!Svm.Config.protocol_rank}, matching the paper's table
+    columns), then node count — a deterministic order for machine-readable
+    dumps. *)
 val cells : t -> (string * Svm.Config.protocol * int * Svm.Runtime.report) list

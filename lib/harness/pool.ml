@@ -1,0 +1,49 @@
+(* Bounded domain pool: a shared-counter work queue over an immutable task
+   array. Workers (the calling domain plus up to [jobs - 1] spawned ones)
+   claim the next index with [Atomic.fetch_and_add] and write their result
+   into a per-index slot, so results never race and always come back in
+   input order. [Domain.join] publishes the slots to the caller. *)
+
+type t = { jobs : int }
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let create ~jobs =
+  if jobs < 1 then
+    invalid_arg (Printf.sprintf "Pool.create: jobs must be >= 1 (got %d)" jobs);
+  { jobs }
+
+let sequential = { jobs = 1 }
+
+let jobs t = t.jobs
+
+let map t f xs =
+  if t.jobs = 1 then List.map f xs
+  else begin
+    let tasks = Array.of_list xs in
+    let n = Array.length tasks in
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (results.(i) <-
+          (match f tasks.(i) with
+          | v -> Some (Ok v)
+          | exception exn -> Some (Error (exn, Printexc.get_raw_backtrace ()))));
+        worker ()
+      end
+    in
+    let spawned = List.init (min (t.jobs - 1) (max 0 (n - 1))) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (* Re-raise the lowest-index failure: Array.iter is in order, so the
+       outcome is deterministic for any pool width. *)
+    Array.iter
+      (function Some (Error (exn, bt)) -> Printexc.raise_with_backtrace exn bt | _ -> ())
+      results;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | _ -> assert false (* the counter ran past [n] only after every slot was filled *))
+  end

@@ -1,0 +1,33 @@
+(** Bounded domain pool for embarrassingly parallel harness work.
+
+    The bench grid is (application x protocol x node count) and every cell
+    is a self-contained simulation — one {!Svm.System.create}, its own RNG,
+    its own trace sink — so independent cells can run on separate OCaml 5
+    domains. The pool bounds how many run at once ([--jobs N] on the bench
+    CLI); {!map} hands results back in input order so every consumer stays
+    deterministic regardless of completion order. *)
+
+type t
+
+(** [Domain.recommended_domain_count () - 1], never below 1: leave one
+    hardware thread for the driving domain. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs] builds a pool running at most [jobs] tasks at once.
+    [jobs = 1] degenerates to plain sequential [List.map] in the calling
+    domain — byte-for-byte today's single-core behavior.
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** The sequential pool, [create ~jobs:1]. *)
+val sequential : t
+
+val jobs : t -> int
+
+(** [map pool f xs] applies [f] to every element of [xs], running up to
+    [jobs pool] applications concurrently (the calling domain participates;
+    at most [jobs - 1] domains are spawned). Results come back in input
+    order. If any application raises, the exception of the lowest-index
+    failing element is re-raised (with its backtrace) after all tasks have
+    finished — deterministic error reporting regardless of scheduling. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list

@@ -17,19 +17,33 @@ let cell ~verify ~chaos ~trace_cap app proto np =
   let r = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify) in
   (r, Obs.Critical_path.analyze sink, sink)
 
-let report ppf ?(verify = true) ?(chaos = Machine.Chaos.none) ?(trace_cap = 1_000_000)
-    ?(protocols = Svm.Config.all_protocols) ~scale ~node_counts () =
+let report ppf ?(pool = Pool.sequential) ?(verify = true) ?(chaos = Machine.Chaos.none)
+    ?(trace_cap = 1_000_000) ?(protocols = Svm.Config.all_protocols) ~scale ~node_counts ()
+    =
   Format.fprintf ppf "@.=== Critical-path composition (on-path blame, %% of finish time) ===@.@.";
   Format.fprintf ppf
     "%-12s %-6s %4s  %12s %6s %6s %6s %6s %6s  %-10s %-10s %s@." "app" "proto" "np"
     "finish(us)" "local" "data" "lock" "barr" "gc" "top page" "top lock" "straggler";
+  (* Each cell already has its own sink, so profiled cells are independent
+     simulations: evaluate the whole grid through the pool (in row order),
+     then render — identical bytes for any pool width. *)
+  let grid =
+    List.concat_map
+      (fun (app : Apps.Registry.t) ->
+        List.concat_map
+          (fun proto -> List.map (fun np -> (app, proto, np)) node_counts)
+          protocols)
+      (Apps.Registry.all scale)
+  in
+  let rows =
+    Pool.map pool
+      (fun (app, proto, np) ->
+        let _, cp, sink = cell ~verify ~chaos ~trace_cap app proto np in
+        ((app, proto, np), cp, sink))
+      grid
+  in
   List.iter
-    (fun (app : Apps.Registry.t) ->
-      List.iter
-        (fun proto ->
-          List.iter
-            (fun np ->
-              let _, cp, sink = cell ~verify ~chaos ~trace_cap app proto np in
+    (fun (((app : Apps.Registry.t), proto, np), cp, sink) ->
               let f = cp.Obs.Critical_path.cp_finish in
               let blame = function
                 | [] -> "-"
@@ -68,6 +82,4 @@ let report ppf ?(verify = true) ?(chaos = Machine.Chaos.none) ?(trace_cap = 1_00
                 (blame cp.Obs.Critical_path.cp_top_locks)
                 straggler
                 (if Obs.Trace.dropped sink > 0 then "  [trace truncated]" else ""))
-            node_counts)
-        protocols)
-    (Apps.Registry.all scale)
+    rows

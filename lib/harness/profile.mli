@@ -22,9 +22,13 @@ val cell :
   Svm.Runtime.report * Obs.Critical_path.t * Obs.Trace.sink
 
 (** Print the composition table for [protocols] (default: the paper's
-    four) over every registered application at [scale] and each node count. *)
+    four) over every registered application at [scale] and each node count.
+    Cells are independent profiled runs and are evaluated through [pool]
+    (default {!Pool.sequential}); the table renders only after every cell
+    has finished, so the bytes are identical for any pool width. *)
 val report :
   Format.formatter ->
+  ?pool:Pool.t ->
   ?verify:bool ->
   ?chaos:Machine.Chaos.params ->
   ?trace_cap:int ->

@@ -40,39 +40,47 @@ let run_one ~nprocs ~chaos proto (app : Apps.Registry.t) =
   let cfg = Svm.Config.make ~nprocs ~chaos proto in
   Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true)
 
-let sweep ?(scale = Apps.Registry.Test) ?(nprocs = 4) ?(fault_seeds = [ 1; 2; 3 ]) ?params ()
-    =
+(* The sweep is embarrassingly parallel at (protocol x application)
+   granularity: one task runs the fault-free twin plus every fault seed of
+   its cell (the seeds need the twin's digest), and tasks are enumerated in
+   the sequential nesting order so the concatenated rows — and therefore
+   the report — are identical for any pool width. *)
+let sweep ?(pool = Pool.sequential) ?(scale = Apps.Registry.Test) ?(nprocs = 4)
+    ?(fault_seeds = [ 1; 2; 3 ]) ?params () =
   let params = match params with Some p -> p | None -> default_params ~fault_seed:0 in
   let apps =
     List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
   in
-  List.concat_map
-    (fun proto ->
-      List.concat_map
-        (fun (app : Apps.Registry.t) ->
-          let clean = run_one ~nprocs ~chaos:Machine.Chaos.none proto app in
-          let expected = clean.Svm.Runtime.r_mem_digest in
-          List.map
-            (fun fault_seed ->
-              let chaos = { params with Machine.Chaos.fault_seed } in
-              let r = run_one ~nprocs ~chaos proto app in
-              {
-                s_app = app.Apps.Registry.name;
-                s_proto = proto;
-                s_fault_seed = fault_seed;
-                s_ok = Int64.equal r.Svm.Runtime.r_mem_digest expected;
-                s_digest = r.Svm.Runtime.r_mem_digest;
-                s_expected = expected;
-                s_slowdown = r.Svm.Runtime.r_elapsed /. clean.Svm.Runtime.r_elapsed;
-                s_drops = sum_counter r (fun c -> c.Svm.Stats.msg_drops);
-                s_retransmits = sum_counter r (fun c -> c.Svm.Stats.msg_retransmits);
-              })
-            fault_seeds)
-        apps)
-    protocols
+  let tasks =
+    List.concat_map
+      (fun proto -> List.map (fun (app : Apps.Registry.t) -> (proto, app)) apps)
+      protocols
+  in
+  Pool.map pool
+    (fun (proto, (app : Apps.Registry.t)) ->
+      let clean = run_one ~nprocs ~chaos:Machine.Chaos.none proto app in
+      let expected = clean.Svm.Runtime.r_mem_digest in
+      List.map
+        (fun fault_seed ->
+          let chaos = { params with Machine.Chaos.fault_seed } in
+          let r = run_one ~nprocs ~chaos proto app in
+          {
+            s_app = app.Apps.Registry.name;
+            s_proto = proto;
+            s_fault_seed = fault_seed;
+            s_ok = Int64.equal r.Svm.Runtime.r_mem_digest expected;
+            s_digest = r.Svm.Runtime.r_mem_digest;
+            s_expected = expected;
+            s_slowdown = r.Svm.Runtime.r_elapsed /. clean.Svm.Runtime.r_elapsed;
+            s_drops = sum_counter r (fun c -> c.Svm.Stats.msg_drops);
+            s_retransmits = sum_counter r (fun c -> c.Svm.Stats.msg_retransmits);
+          })
+        fault_seeds)
+    tasks
+  |> List.concat
 
-let report ppf ?scale ?nprocs ?fault_seeds ?params () =
-  let rows = sweep ?scale ?nprocs ?fault_seeds ?params () in
+let report ppf ?pool ?scale ?nprocs ?fault_seeds ?params () =
+  let rows = sweep ?pool ?scale ?nprocs ?fault_seeds ?params () in
   Format.fprintf ppf "@.=== Chaos soak: differential soundness ===@.@.";
   Format.fprintf ppf "%-10s %-6s %5s  %8s %8s %9s  %s@." "app" "proto" "seed" "drops"
     "rexmits" "slowdown" "digest";

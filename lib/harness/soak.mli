@@ -23,8 +23,12 @@ val default_params : fault_seed:int -> Machine.Chaos.params
 
 (** Every protocol x registered application (at [scale], default [Test])
     x fault seed (default [[1; 2; 3]]), on [nprocs] nodes (default 4).
-    [params.fault_seed] is overridden per row. *)
+    [params.fault_seed] is overridden per row. The (protocol x application)
+    cells are independent simulations and run through [pool] (default
+    {!Pool.sequential}); rows come back in the sequential nesting order
+    regardless of pool width. *)
 val sweep :
+  ?pool:Pool.t ->
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?fault_seeds:int list ->
@@ -36,6 +40,7 @@ val sweep :
     every cell matched. *)
 val report :
   Format.formatter ->
+  ?pool:Pool.t ->
   ?scale:Apps.Registry.scale ->
   ?nprocs:int ->
   ?fault_seeds:int list ->

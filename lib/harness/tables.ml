@@ -8,6 +8,62 @@
 
 let protocols = Svm.Config.all_protocols
 
+(* Each table's [*_cells] companion enumerates the (app, protocol, nodes)
+   cells the renderer will [Matrix.get], in first-use order, so a driver
+   can [Matrix.prefetch] them through a domain pool and the renderer then
+   runs entirely on cache hits. Keeping the enumerators next to their
+   renderers (same iteration nests) is what stops the two from drifting.
+   The one-node HLRC cell is the sequential baseline [Matrix.seq_time]
+   reads. *)
+
+type cell = Apps.Registry.t * Svm.Config.protocol * int
+
+let seq_cell app : cell = (app, Svm.Config.Hlrc, 1)
+
+let table1_cells m = List.map seq_cell (Apps.Registry.all (Matrix.scale m))
+
+let table2_cells m ~node_counts =
+  List.concat_map
+    (fun np ->
+      List.concat_map
+        (fun app -> seq_cell app :: List.map (fun p -> (app, p, np)) protocols)
+        (Apps.Registry.all (Matrix.scale m)))
+    node_counts
+
+let lrc_hlrc_cells m ~node_counts =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun np -> [ (app, Svm.Config.Lrc, np); (app, Svm.Config.Hlrc, np) ])
+        node_counts)
+    (Apps.Registry.all (Matrix.scale m))
+
+let table4_cells = lrc_hlrc_cells
+
+let table5_cells = lrc_hlrc_cells
+
+let table6_cells = lrc_hlrc_cells
+
+let figure3_cells m ~node_counts =
+  List.concat_map
+    (fun app ->
+      List.concat_map
+        (fun np -> List.map (fun p -> (app, p, np)) protocols)
+        node_counts)
+    (Apps.Registry.all (Matrix.scale m))
+
+let figure4_cells m ~node_counts =
+  let app = Apps.Registry.water_nsq (Matrix.scale m) in
+  List.concat_map
+    (fun proto -> List.map (fun np -> (app, proto, np)) node_counts)
+    [ Svm.Config.Lrc; Svm.Config.Hlrc ]
+
+let sor_zero_cells m ~node_counts =
+  let app = Apps.Registry.sor_zero (Matrix.scale m) in
+  List.concat_map
+    (fun np -> [ (app, Svm.Config.Lrc, np); (app, Svm.Config.Hlrc, np) ])
+    node_counts
+
 let hline ppf n = Format.fprintf ppf "%s@." (String.make n '-')
 
 let title ppf s =

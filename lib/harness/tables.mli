@@ -31,3 +31,28 @@ val figure4 : Format.formatter -> Matrix.t -> node_counts:int list -> epoch:int 
 
 (** §4.8: SOR with a zero interior, the most LRC-favourable workload. *)
 val sor_zero : Format.formatter -> Matrix.t -> node_counts:int list -> unit
+
+(** {1 Cell enumerators}
+
+    For each artifact, the (app, protocol, node count) cells its renderer
+    will {!Matrix.get}, in first-use order — feed these to
+    {!Matrix.prefetch} to evaluate a table's grid on a domain pool before
+    rendering it. Duplicates are fine (prefetch dedupes). *)
+
+type cell = Apps.Registry.t * Svm.Config.protocol * int
+
+val table1_cells : Matrix.t -> cell list
+
+val table2_cells : Matrix.t -> node_counts:int list -> cell list
+
+val table4_cells : Matrix.t -> node_counts:int list -> cell list
+
+val table5_cells : Matrix.t -> node_counts:int list -> cell list
+
+val table6_cells : Matrix.t -> node_counts:int list -> cell list
+
+val figure3_cells : Matrix.t -> node_counts:int list -> cell list
+
+val figure4_cells : Matrix.t -> node_counts:int list -> cell list
+
+val sor_zero_cells : Matrix.t -> node_counts:int list -> cell list

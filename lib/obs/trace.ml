@@ -241,6 +241,19 @@ let emit s ev =
     s.len <- s.len + 1
   end
 
+(* Append [src]'s stored events (and its overflow count) to [dst]. Replaying
+   per-cell sinks into a shared one in deterministic cell order makes a
+   parallel sweep's merged trace byte-identical to a sequential run's: the
+   shared sink stores the same first-[capacity] events and counts the same
+   total drops, because drops commute — whatever [src] dropped past its own
+   cap plus whatever [dst] drops here sums to exactly what a single shared
+   sink would have dropped. *)
+let absorb dst src =
+  for i = 0 to src.len - 1 do
+    emit dst src.buf.(i)
+  done;
+  dst.n_dropped <- dst.n_dropped + src.n_dropped
+
 let events s = Array.to_list (Array.sub s.buf 0 s.len)
 
 let iter s f =

@@ -109,6 +109,13 @@ val create_sink : ?capacity:int -> unit -> sink
 
 val emit : sink -> event -> unit
 
+(** [absorb dst src] re-emits [src]'s stored events into [dst] (in order)
+    and adds [src]'s overflow count to [dst]'s. Used to merge per-cell
+    sinks of a parallel sweep into one shared sink in a deterministic cell
+    order; when both sinks share a capacity, the merged contents and drop
+    count are identical to emitting everything into [dst] directly. *)
+val absorb : sink -> sink -> unit
+
 (** Stored events, in emission order. *)
 val events : sink -> event list
 

@@ -1,4 +1,10 @@
-type 'a entry = { key : float; seq : int; value : 'a }
+(* The payload lives in a mutable field cleared by [pop_min]: a popped
+   entry can stay reachable from vacated backing-array slots (the swap-down
+   copy, or the fill slots [grow] seeds) until those slots are overwritten,
+   and a 4-word husk there is harmless — but the payload it used to carry
+   (an event closure pinning continuations and page data in the simulator)
+   must not be. *)
+type 'a entry = { key : float; seq : int; mutable value : 'a option }
 
 type 'a t = {
   mutable data : 'a entry array;
@@ -48,7 +54,7 @@ let rec sift_down data size i =
   end
 
 let push h ~key value =
-  let entry = { key; seq = h.next_seq; value } in
+  let entry = { key; seq = h.next_seq; value = Some value } in
   h.next_seq <- h.next_seq + 1;
   grow h entry;
   h.data.(h.size) <- entry;
@@ -56,19 +62,27 @@ let push h ~key value =
   sift_up h.data (h.size - 1)
 
 let pop_min h =
-  if h.size = 0 then raise Not_found;
+  if h.size = 0 then invalid_arg "Sim.Heap.pop_min: heap is empty";
   let min = h.data.(0) in
   h.size <- h.size - 1;
   if h.size > 0 then begin
     h.data.(0) <- h.data.(h.size);
     sift_down h.data h.size 0
   end;
-  (min.key, min.value)
+  let v =
+    match min.value with
+    | Some v -> v
+    | None -> assert false (* only [pop_min] clears, and it removes the entry *)
+  in
+  min.value <- None;
+  (min.key, v)
 
 let peek_min h =
-  if h.size = 0 then raise Not_found;
+  if h.size = 0 then invalid_arg "Sim.Heap.peek_min: heap is empty";
   let min = h.data.(0) in
-  (min.key, min.value)
+  match min.value with
+  | Some v -> (min.key, v)
+  | None -> assert false
 
 let clear h =
   h.data <- [||];

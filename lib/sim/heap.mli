@@ -16,12 +16,14 @@ val is_empty : 'a t -> bool
     pop in FIFO order. *)
 val push : 'a t -> key:float -> 'a -> unit
 
-(** [pop_min h] removes and returns the minimum entry as [(key, v)].
-    @raise Not_found if the heap is empty. *)
+(** [pop_min h] removes and returns the minimum entry as [(key, v)]. The
+    heap drops its reference to [v] — long-lived heaps never pin popped
+    payloads (event closures, page data) in vacated backing-array slots.
+    @raise Invalid_argument if the heap is empty. *)
 val pop_min : 'a t -> float * 'a
 
 (** [peek_min h] returns the minimum entry without removing it.
-    @raise Not_found if the heap is empty. *)
+    @raise Invalid_argument if the heap is empty. *)
 val peek_min : 'a t -> float * 'a
 
 val clear : 'a t -> unit

@@ -77,9 +77,68 @@ let test_protocol_traffic_headline () =
   check Alcotest.bool "home-based protocol data is cheaper" true
     (Svm.Runtime.total_protocol_bytes hlrc < Svm.Runtime.total_protocol_bytes lrc)
 
+(* Satellite: [Matrix.cells] must list protocols in the paper's canonical
+   order (LRC, OLRC, HLRC, OHLRC, ...), not alphabetically. *)
+let test_cells_canonical_order () =
+  let m = Harness.Matrix.create ~verify:false ~scale:Apps.Registry.Test () in
+  let app = Apps.Registry.sor Apps.Registry.Test in
+  (* Populate in a scrambled order; [cells] must sort it back. *)
+  List.iter
+    (fun p -> ignore (Harness.Matrix.get m app p 2))
+    [ Svm.Config.Ohlrc; Svm.Config.Hlrc; Svm.Config.Lrc; Svm.Config.Olrc ];
+  let protos = List.map (fun (_, p, _, _) -> p) (Harness.Matrix.cells m) in
+  check
+    (Alcotest.list (Alcotest.testable (fun ppf p -> Format.pp_print_string ppf (Svm.Config.protocol_name p)) ( = )))
+    "canonical protocol order"
+    [ Svm.Config.Lrc; Svm.Config.Olrc; Svm.Config.Hlrc; Svm.Config.Ohlrc ]
+    protos
+
+(* The JSON dump bench/main.ml writes with --json, reproduced here so the
+   determinism test covers the machine-readable artifact too. *)
+let dump m =
+  let cell (app, proto, np, r) =
+    Obs.Json.Obj
+      [
+        ("app", Obs.Json.String app);
+        ( "protocol",
+          Obs.Json.String (String.lowercase_ascii (Svm.Config.protocol_name proto)) );
+        ("nodes", Obs.Json.Int np);
+        ("report", Svm.Report_json.encode r);
+      ]
+  in
+  Obs.Json.to_string_pretty
+    (Obs.Json.Obj
+       [
+         ("schema_version", Obs.Json.Int Svm.Report_json.schema_version);
+         ("cells", Obs.Json.List (List.map cell (Harness.Matrix.cells m)));
+       ])
+
+(* The tentpole's hard requirement: a prefetched parallel sweep must be
+   byte-identical to the sequential one — rendered table, JSON dump and
+   trace-sink contents alike. *)
+let test_parallel_determinism () =
+  let node_counts = [ 2 ] in
+  let sweep jobs =
+    let sink = Obs.Trace.create_sink ~capacity:10_000 () in
+    let m = Harness.Matrix.create ~verify:false ~sink ~scale:Apps.Registry.Test () in
+    let pool = Harness.Pool.create ~jobs in
+    if Harness.Pool.jobs pool > 1 then
+      Harness.Matrix.prefetch m pool (Harness.Tables.table2_cells m ~node_counts);
+    let table = render (fun ppf -> Harness.Tables.table2 ppf m ~node_counts) in
+    (table, dump m, Obs.Trace.events sink, Obs.Trace.dropped sink)
+  in
+  let t1, j1, e1, d1 = sweep 1 in
+  let t4, j4, e4, d4 = sweep 4 in
+  check Alcotest.string "rendered table identical" t1 t4;
+  check Alcotest.string "json dump identical" j1 j4;
+  check Alcotest.bool "trace events identical" true (e1 = e4);
+  check Alcotest.int "trace drop count identical" d1 d4
+
 let suite =
   [
     ("matrix caches runs", `Quick, test_matrix_caches);
+    ("cells canonical order", `Quick, test_cells_canonical_order);
+    ("parallel determinism", `Slow, test_parallel_determinism);
     ("speedup definition", `Quick, test_speedup_definition);
     ("all tables render", `Slow, test_tables_render);
     ("memory headline", `Quick, test_memory_headline);

@@ -14,6 +14,7 @@ let () =
       ("stats", Test_stats.suite);
       ("critical_path", Test_critical_path.suite);
       ("apps", Test_apps.suite);
+      ("pool", Test_pool.suite);
       ("harness", Test_harness.suite);
       ("overlap", Test_overlap.suite);
       ("aurc", Test_aurc.suite);

@@ -1,0 +1,73 @@
+(* Unit tests for the bounded domain pool: ordering, parity with the
+   sequential path, error propagation and argument validation. *)
+
+let check = Alcotest.check
+
+let test_default_jobs () =
+  check Alcotest.bool "at least one job" true (Harness.Pool.default_jobs () >= 1)
+
+let test_create_rejects_zero () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Pool.create: jobs must be >= 1 (got 0)") (fun () ->
+      ignore (Harness.Pool.create ~jobs:0))
+
+let test_jobs_accessor () =
+  check Alcotest.int "sequential" 1 (Harness.Pool.jobs Harness.Pool.sequential);
+  check Alcotest.int "create" 3 (Harness.Pool.jobs (Harness.Pool.create ~jobs:3))
+
+let test_map_empty () =
+  let pool = Harness.Pool.create ~jobs:4 in
+  check Alcotest.(list int) "empty" [] (Harness.Pool.map pool (fun x -> x) [])
+
+let test_map_order () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let expected = List.map f xs in
+  List.iter
+    (fun jobs ->
+      let pool = Harness.Pool.create ~jobs in
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "jobs=%d preserves input order" jobs)
+        expected
+        (Harness.Pool.map pool f xs))
+    [ 1; 2; 4; 7 ]
+
+let test_map_runs_every_task () =
+  let pool = Harness.Pool.create ~jobs:4 in
+  let hits = Atomic.make 0 in
+  let n = 57 in
+  ignore
+    (Harness.Pool.map pool
+       (fun x ->
+         Atomic.incr hits;
+         x)
+       (List.init n Fun.id));
+  check Alcotest.int "each task ran exactly once" n (Atomic.get hits)
+
+exception Boom of int
+
+let test_map_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      let pool = Harness.Pool.create ~jobs in
+      (* All failing tasks finish; the lowest-index failure is re-raised, so
+         the outcome is deterministic for any pool width. *)
+      Alcotest.check_raises (Printf.sprintf "jobs=%d raises lowest index" jobs) (Boom 3)
+        (fun () ->
+          ignore
+            (Harness.Pool.map pool
+               (fun x -> if x >= 3 then raise (Boom x) else x)
+               (List.init 10 Fun.id))))
+    [ 1; 2; 4 ]
+
+let suite =
+  [
+    ("default jobs", `Quick, test_default_jobs);
+    ("create rejects zero", `Quick, test_create_rejects_zero);
+    ("jobs accessor", `Quick, test_jobs_accessor);
+    ("map empty", `Quick, test_map_empty);
+    ("map order", `Quick, test_map_order);
+    ("map runs every task", `Quick, test_map_runs_every_task);
+    ("map propagates exception", `Quick, test_map_propagates_exception);
+  ]

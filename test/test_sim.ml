@@ -22,7 +22,38 @@ let test_heap_fifo_ties () =
 
 let test_heap_empty_pop () =
   let h : int Sim.Heap.t = Sim.Heap.create () in
-  Alcotest.check_raises "pop empty" Not_found (fun () -> ignore (Sim.Heap.pop_min h))
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Sim.Heap.pop_min: heap is empty")
+    (fun () -> ignore (Sim.Heap.pop_min h));
+  Alcotest.check_raises "peek empty"
+    (Invalid_argument "Sim.Heap.peek_min: heap is empty")
+    (fun () -> ignore (Sim.Heap.peek_min h))
+
+(* Popped payloads must become unreachable: the event queue of a long
+   simulation oscillates around a small size, and a popped slot that keeps
+   its closure alive is a space leak proportional to everything those
+   closures capture. *)
+let test_heap_releases_payloads () =
+  let h : string Sim.Heap.t = Sim.Heap.create () in
+  let live = Weak.create 20 in
+  for i = 0 to 19 do
+    let payload = String.init 8 (fun j -> Char.chr (65 + ((i + j) mod 26))) in
+    Weak.set live i (Some payload);
+    Sim.Heap.push h ~key:(float_of_int (i mod 5)) payload
+  done;
+  for _ = 1 to 10 do
+    ignore (Sim.Heap.pop_min h)
+  done;
+  Gc.full_major ();
+  let alive = ref 0 in
+  for i = 0 to 19 do
+    if Weak.check live i then incr alive
+  done;
+  (* Keep the heap itself reachable until after the scan, or the GC is free
+     to collect it — payloads included — before the full_major. *)
+  check Alcotest.int "unpopped payloads still in the heap" 10
+    (Sim.Heap.length (Sys.opaque_identity h));
+  check Alcotest.int "only unpopped payloads stay reachable" 10 !alive
 
 let test_heap_peek () =
   let h = Sim.Heap.create () in
@@ -64,6 +95,25 @@ let prop_heap_conserves =
         out := snd (Sim.Heap.pop_min h) :: !out
       done;
       List.sort compare !out = List.sort compare xs)
+
+(* Stronger than the two properties above combined: ties must come out in
+   insertion order, i.e. a full drain IS List.stable_sort by key. *)
+let prop_heap_stable_sort =
+  QCheck.Test.make ~name:"heap drain is the stable sort by key" ~count:200
+    QCheck.(list (int_bound 10))
+    (fun keys ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i k -> Sim.Heap.push h ~key:(float_of_int k) (k, i)) keys;
+      let out = ref [] in
+      while not (Sim.Heap.is_empty h) do
+        out := snd (Sim.Heap.pop_min h) :: !out
+      done;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare (a : int) b)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      List.rev !out = expected)
 
 (* ------------------------------------------------------------------ *)
 (* RNG *)
@@ -175,10 +225,12 @@ let suite =
     ("heap ordering", `Quick, test_heap_ordering);
     ("heap fifo ties", `Quick, test_heap_fifo_ties);
     ("heap empty pop", `Quick, test_heap_empty_pop);
+    ("heap releases payloads", `Quick, test_heap_releases_payloads);
     ("heap peek", `Quick, test_heap_peek);
     ("heap clear", `Quick, test_heap_clear);
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_heap_conserves;
+    QCheck_alcotest.to_alcotest prop_heap_stable_sort;
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
     ("rng split independent", `Quick, test_rng_split_independent);
