@@ -10,11 +10,17 @@
 
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
-   ablation-locks ablation-migration chaos-soak profile micro all
+   ablation-locks ablation-migration ablation-fault-batch chaos-soak
+   profile perf micro all
 
    Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
    --fault-seed apply one chaos plan to every simulated cell (chaos-soak
-   ignores them and sweeps its own plans).
+   ignores them and sweeps its own plans). --fault-batch N enables batched
+   fault handling on every cell (ablation-fault-batch sweeps it itself).
+
+   perf runs the fixed microbenchmark cells (events/sec, minor words per
+   event, wall clock) and --perf-out FILE writes them as JSON for the CI
+   perf gate.
 
    Parallelism: --jobs N evaluates independent cells on N domains
    (default: recommended_domain_count - 1). Output is byte-identical to
@@ -26,8 +32,8 @@ let known_artifacts =
   [
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3"; "figure4";
     "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
-    "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "chaos-soak"; "profile";
-    "micro"; "all";
+    "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "ablation-fault-batch"; "chaos-soak";
+    "profile"; "perf"; "micro"; "all";
   ]
 
 type options = {
@@ -41,6 +47,8 @@ type options = {
   mutable trace_cap : int;
   mutable chaos : Machine.Chaos.params;
   mutable jobs : int;
+  mutable fault_batch : int;
+  mutable perf_out : string option;
 }
 
 let parse_args () =
@@ -56,6 +64,8 @@ let parse_args () =
       trace_cap = 1_000_000;
       chaos = Machine.Chaos.none;
       jobs = Harness.Pool.default_jobs ();
+      fault_batch = 1;
+      perf_out = None;
     }
   in
   let rate name s =
@@ -68,7 +78,7 @@ let parse_args () =
     | [] -> ()
     | [ (( "--scale" | "--nodes" | "--drop-rate" | "--dup-rate" | "--jitter"
          | "--straggler" | "--fault-seed" | "--json" | "--trace-out" | "--trace-format"
-         | "--trace-cap" | "--jobs" ) as flag) ] ->
+         | "--trace-cap" | "--jobs" | "--fault-batch" | "--perf-out" ) as flag) ] ->
         missing flag
     | "--scale" :: s :: rest ->
         (o.scale <-
@@ -132,6 +142,16 @@ let parse_args () =
           | Some n -> failwith (Printf.sprintf "--trace-cap: must be positive, got %d" n)
           | None -> failwith (Printf.sprintf "--trace-cap: expected an integer, got %S" s)));
         go rest
+    | "--fault-batch" :: s :: rest ->
+        (o.fault_batch <-
+          (match int_of_string_opt s with
+          | Some n when n >= 1 -> n
+          | Some n -> failwith (Printf.sprintf "--fault-batch: must be at least 1, got %d" n)
+          | None -> failwith (Printf.sprintf "--fault-batch: expected an integer, got %S" s)));
+        go rest
+    | "--perf-out" :: file :: rest ->
+        o.perf_out <- Some file;
+        go rest
     | "--jobs" :: s :: rest ->
         (o.jobs <-
           (match int_of_string_opt s with
@@ -163,12 +183,16 @@ let parse_args () =
 let micro () =
   let open Bechamel in
   let page_words = 1024 in
-  let twin = Array.init page_words (fun i -> float_of_int i) in
-  let sparse = Array.mapi (fun i v -> if i mod 16 = 0 then v +. 1.0 else v) twin in
-  let dense = Array.map (fun v -> v +. 1.0) twin in
+  let twin = Mem.Words.of_array (Array.init page_words (fun i -> float_of_int i)) in
+  let sparse = Mem.Words.copy twin in
+  let dense = Mem.Words.copy twin in
+  for i = 0 to page_words - 1 do
+    if i mod 16 = 0 then Mem.Words.set sparse i (Mem.Words.get sparse i +. 1.0);
+    Mem.Words.set dense i (Mem.Words.get dense i +. 1.0)
+  done;
   let sparse_diff = Mem.Diff.create ~page:0 ~twin ~current:sparse in
   let dense_diff = Mem.Diff.create ~page:0 ~twin ~current:dense in
-  let target = Array.copy twin in
+  let target = Mem.Words.copy twin in
   let vt_a = Proto.Vclock.create ~nprocs:64 in
   let vt_b = Proto.Vclock.create ~nprocs:64 in
   for i = 0 to 63 do
@@ -184,13 +208,13 @@ let micro () =
         (Staged.stage (fun () -> Mem.Diff.apply sparse_diff target));
       Test.make ~name:"diff-apply-dense"
         (Staged.stage (fun () -> Mem.Diff.apply dense_diff target));
-      Test.make ~name:"twin-copy" (Staged.stage (fun () -> ignore (Array.copy twin)));
+      Test.make ~name:"twin-copy" (Staged.stage (fun () -> ignore (Mem.Words.copy twin)));
       Test.make ~name:"vclock-merge"
         (Staged.stage (fun () -> Proto.Vclock.merge_into vt_a vt_b));
       Test.make ~name:"vclock-leq" (Staged.stage (fun () -> ignore (Proto.Vclock.leq vt_a vt_b)));
       Test.make ~name:"event-queue-push-pop"
         (Staged.stage (fun () ->
-             let h = Sim.Heap.create () in
+             let h = Sim.Heap.create ~capacity:64 () in
              for i = 0 to 63 do
                Sim.Heap.push h ~key:(float_of_int ((i * 7919) mod 101)) i
              done;
@@ -261,7 +285,10 @@ let () =
     | None -> None
     | Some _ -> Some (Obs.Trace.create_sink ~capacity:o.trace_cap ())
   in
-  let m = Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos ~scale:o.scale () in
+  let m =
+    Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos
+      ~fault_batch:o.fault_batch ~scale:o.scale ()
+  in
   let pool = Harness.Pool.create ~jobs:o.jobs in
   let failures = ref 0 in
   Harness.Matrix.on_progress m (fun s -> Format.eprintf "  [%s]@." s);
@@ -310,6 +337,20 @@ let () =
         Harness.Ablations.aurc_comparison ppf m ~node_counts:o.nodes
     | "ablation-migration" ->
         Harness.Ablations.home_migration ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
+    | "ablation-fault-batch" ->
+        Harness.Ablations.fault_batch ppf ~pool ~scale:o.scale ~node_counts:o.nodes ()
+    | "perf" ->
+        let results = Harness.Perf.run_all () in
+        Harness.Perf.pp_table ppf results;
+        (match o.perf_out with
+        | None -> ()
+        | Some file ->
+            let oc = open_out file in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () ->
+                output_string oc (Obs.Json.to_string_pretty (Harness.Perf.to_json results));
+                output_char oc '\n'))
     | "chaos-soak" ->
         if not (Harness.Soak.report ppf ~pool ~scale:o.scale ()) then incr failures
     | "profile" ->

@@ -11,7 +11,7 @@ let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
     json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
-    fault_seed =
+    fault_seed fault_batch =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -44,7 +44,7 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   | Error msg -> failwith msg);
   let cfg =
     Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos
-      ~trace_cap ~trace_spans:profile protocol
+      ~trace_cap ~trace_spans:profile ~fault_batch protocol
   in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
@@ -203,11 +203,17 @@ let fault_seed_arg =
   let doc = "Seed for the fault-injection plan (independent of --seed)." in
   Arg.(value & opt int 1 & info [ "fault-seed" ] ~docv:"SEED" ~doc)
 
+let fault_batch_arg =
+  let doc =
+    "Batched fault handling (home-based protocols): serve up to $(docv) adjacent same-home      invalid pages in the one round trip handling a miss. 1 (the default) reproduces the      paper's one-page-per-fault behavior exactly."
+  in
+  Arg.(value & opt int 1 & info [ "fault-batch" ] ~docv:"N" ~doc)
+
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
-let run_safe a b c d e g h i j k l m n o p q s t u v =
-  try run a b c d e g h i j k l m n o p q s t u v with
+let run_safe a b c d e g h i j k l m n o p q s t u v w =
+  try run a b c d e g h i j k l m n o p q s t u v w with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
       exit 2
@@ -223,6 +229,6 @@ let cmd =
       const run_safe $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg
       $ seed_arg $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
       $ trace_format_arg $ trace_cap_arg $ profile_arg $ drop_rate_arg $ dup_rate_arg
-      $ jitter_arg $ straggler_arg $ fault_seed_arg)
+      $ jitter_arg $ straggler_arg $ fault_seed_arg $ fault_batch_arg)
 
 let () = exit (Cmd.eval cmd)

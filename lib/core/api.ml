@@ -31,7 +31,15 @@ let root ctx name = System.root ctx.sys name
 
 (* Faults re-check protection and retry, like a restarted instruction: an
    interval can end (write-protecting the page again) between the fault
-   handler finishing and this process resuming. *)
+   handler finishing and this process resuming.
+
+   These two functions are the simulator's innermost loop — once per
+   simulated load/store — so they are written to allocate (almost)
+   nothing: the charge bumps all-float records, the page word lives in a
+   Bigarray (direct load/store, no boxing), and the offset is validated by
+   construction ([addr land mask] < page_words = the length every page
+   buffer is allocated with). The only allocation left is boxing [read]'s
+   float result for the caller. *)
 let read ctx addr =
   System.charge_compute ctx.node ctx.access_cost;
   let page = addr lsr ctx.shift in
@@ -39,7 +47,7 @@ let read ctx addr =
   while entry.Mem.Page_table.prot = Mem.Page_table.No_access do
     Effect.perform (System.Read_fault_eff page)
   done;
-  (Mem.Page_table.data_exn entry).(addr land ctx.mask)
+  Mem.Words.unsafe_get (Mem.Page_table.data_exn entry) (addr land ctx.mask)
 
 let write ctx addr value =
   System.charge_compute ctx.node ctx.access_cost;
@@ -49,13 +57,13 @@ let write ctx addr value =
     Effect.perform (System.Write_fault_eff page)
   done;
   let off = addr land ctx.mask in
-  (Mem.Page_table.data_exn entry).(off) <- value;
+  Mem.Words.unsafe_set (Mem.Page_table.data_exn entry) off value;
   (* AURC automatic update: the store is snooped off the bus and performed
      on the home's master copy with no software overhead (paper 2.2). *)
   match entry.Mem.Page_table.mirror with
   | None -> ()
   | Some home_copy ->
-      home_copy.(off) <- value;
+      Mem.Words.unsafe_set home_copy off value;
       entry.Mem.Page_table.mirror_pending <- entry.Mem.Page_table.mirror_pending + 1
 
 let read_int ctx addr = int_of_float (read ctx addr)
@@ -76,7 +84,7 @@ let compute ctx us =
 
 let start_timing ctx =
   let node = ctx.node in
-  node.System.start_clock <- node.System.mach.Machine.Node.clock;
+  node.System.start_clock <- node.System.mach.Machine.Node.ck.Machine.Node.clock;
   node.System.start_breakdown <- Stats.breakdown_copy node.System.stats.Stats.b;
   node.System.start_counters <- Stats.counters_copy node.System.stats.Stats.c;
   Mem.Accounting.reset_peak node.System.stats.Stats.proto_mem

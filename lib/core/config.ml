@@ -57,6 +57,7 @@ type t = {
   chaos : Machine.Chaos.params;
   trace_cap : int;
   trace_spans : bool;
+  fault_batch : int;
 }
 
 let chaos_enabled t = Machine.Chaos.enabled t.chaos
@@ -67,7 +68,7 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(home_policy = Round_robin) ?(gc_threshold_bytes = 2 * 1024 * 1024)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
     ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none)
-    ?(trace_cap = 1_000_000) ?(trace_spans = false) ~nprocs protocol =
+    ?(trace_cap = 1_000_000) ?(trace_spans = false) ?(fault_batch = 1) ~nprocs protocol =
   if nprocs <= 0 then
     invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
   if not (power_of_two page_words) then
@@ -85,6 +86,9 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
   if trace_cap <= 0 then
     invalid_arg
       (Printf.sprintf "Config.make: trace_cap must be positive (got %d)" trace_cap);
+  if fault_batch < 1 then
+    invalid_arg
+      (Printf.sprintf "Config.make: fault_batch must be at least 1 (got %d)" fault_batch);
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error e -> invalid_arg ("Config.make: " ^ e));
@@ -103,4 +107,5 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     chaos;
     trace_cap;
     trace_spans;
+    fault_batch;
   }

@@ -93,6 +93,12 @@ type t = {
           the trace sink. Off by default so plain [--trace-out] JSONL
           output stays byte-identical to the pre-span schema; turned on by
           [--profile] (and needed by {!Obs.Critical_path}). *)
+  fault_batch : int;
+      (** Batched fault handling (home-based protocols): on a miss, pull up
+          to this many adjacent same-home invalid pages in the one round
+          trip serving the faulting page. 1 (the default) keeps today's
+          one-page-per-fault behavior byte-identical; the flag only changes
+          simulated outcomes when > 1. *)
 }
 
 (** Whether this configuration injects any faults (see
@@ -101,9 +107,9 @@ val chaos_enabled : t -> bool
 
 (** Raises [Invalid_argument] with a descriptive message when a knob is out
     of range: [nprocs], [gc_threshold_bytes], [au_combine_words] or
-    [trace_cap] non-positive, [page_words] not a positive power of two, or
-    an invalid chaos plan (rates outside [0, 1], negative jitter,
-    straggler < 1). *)
+    [trace_cap] non-positive, [page_words] not a positive power of two,
+    [fault_batch] < 1, or an invalid chaos plan (rates outside [0, 1],
+    negative jitter, straggler < 1). *)
 val make :
   ?page_words:int ->
   ?costs:Machine.Costs.t ->
@@ -117,6 +123,7 @@ val make :
   ?chaos:Machine.Chaos.params ->
   ?trace_cap:int ->
   ?trace_spans:bool ->
+  ?fault_batch:int ->
   nprocs:int ->
   protocol ->
   t

@@ -81,7 +81,7 @@ let reapply_own_diffs sys node pi entry =
    local writes (possible when a false-sharing invalidation hit a page the
    node was still writing). Under write-through (AURC) the home copy
    already contains them, so the snapshot installs as-is. *)
-let install_home_copy ~write_through entry (data : float array) =
+let install_home_copy ~write_through entry (data : Mem.Words.t) =
   match (entry.Mem.Page_table.dirty, entry.Mem.Page_table.twin) with
   | true, Some twin ->
       let own =
@@ -89,7 +89,7 @@ let install_home_copy ~write_through entry (data : float array) =
           ~current:(Mem.Page_table.data_exn entry)
       in
       entry.Mem.Page_table.data <- Some data;
-      entry.Mem.Page_table.twin <- Some (Array.copy data);
+      entry.Mem.Page_table.twin <- Some (Mem.Words.copy data);
       Mem.Diff.apply own data
   | true, None when write_through -> entry.Mem.Page_table.data <- Some data
   | true, None -> invalid_arg "install_home_copy: dirty page without twin"
@@ -106,7 +106,7 @@ let rec fetch_from_home sys node page ~on_valid =
   node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
   let request_bytes = header_bytes + Proto.Vclock.size_bytes needed in
   event sys node (Obs.Trace.Page_fetch { page; home });
-  send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.clock ~bytes:request_bytes ~update:0
+  send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes:request_bytes ~update:0
     (fun arrival ->
       let serve_fetch at =
         let done_t = serve sys home_node ~arrival:at ~cost:request_service_cost in
@@ -119,7 +119,7 @@ let rec fetch_from_home sys node page ~on_valid =
               hentry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
               d
         in
-        let snapshot = Array.copy master in
+        let snapshot = Mem.Words.copy master in
         let hp = home_page sys home_node page in
         let flush = Proto.Vclock.copy hp.hp_flush in
         let bytes =
@@ -150,6 +150,128 @@ let rec fetch_from_home sys node page ~on_valid =
         event sys home_node (Obs.Trace.Page_fetch_pending { page })
       end);
   ignore c
+
+(* ------------------------------------------------------------------ *)
+(* Batched home-based fetch (--fault-batch N > 1)                      *)
+
+(* The run of adjacent same-home pages currently invalid on [node], right
+   after [page] — the pages a sequential reader faults on next (a cold
+   sweep over a big read-mostly structure is the classic case: the same
+   access pattern burst faulting targets in real VM systems). Capped at
+   [fault_batch - 1] extras. *)
+let batch_candidates sys node page =
+  let limit = sys.cfg.Config.fault_batch - 1 in
+  let home = home_of sys page in
+  let rec scan q acc n =
+    if
+      n > 0
+      && Hashtbl.mem sys.alloc_tbl q
+      && home_of sys q = home
+      && (Mem.Page_table.ensure node.pt q).Mem.Page_table.prot = Mem.Page_table.No_access
+    then scan (q + 1) (q :: acc) (n - 1)
+    else List.rev acc
+  in
+  scan (page + 1) [] limit
+
+(* One round trip for the faulting page plus up to [fault_batch - 1]
+   adjacent same-home invalid pages: strided access patterns fault on page
+   runs, and each unbatched miss pays a full round trip, so piggybacking
+   the run amortizes the latency. The home only includes extras whose
+   flush cut already covers the requester's needs — a behind page is left
+   out and faults normally later, it never holds the batch. The faulting
+   page itself keeps the exact unbatched semantics: the pending path when
+   the home's flush cut is behind, and the stale-snapshot retry (which
+   retries unbatched). *)
+let fetch_batch_from_home sys node page ~extras ~on_valid =
+  let pi = page_info sys node page in
+  let home = home_of sys page in
+  let home_node = sys.nodes.(home) in
+  let needed = Proto.Vclock.copy pi.needed in
+  let extra_needed =
+    List.map (fun q -> (q, Proto.Vclock.copy (page_info sys node q).needed)) extras
+  in
+  node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
+  node.stats.Stats.c.Stats.batch_prefetches <-
+    node.stats.Stats.c.Stats.batch_prefetches + List.length extras;
+  let request_bytes =
+    header_bytes + Proto.Vclock.size_bytes needed
+    + List.fold_left (fun acc (_, vc) -> acc + 8 + Proto.Vclock.size_bytes vc) 0 extra_needed
+  in
+  event sys node (Obs.Trace.Page_fetch { page; home });
+  event sys node (Obs.Trace.Batch_fetch { page; home; pages = 1 + List.length extras });
+  send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.ck.Machine.Node.clock
+    ~bytes:request_bytes ~update:0 (fun arrival ->
+      let serve_fetch at =
+        let master_of q =
+          let hentry = Mem.Page_table.ensure home_node.pt q in
+          match hentry.Mem.Page_table.data with
+          | Some d -> d
+          | None ->
+              let d = Mem.Page_table.attach_copy home_node.pt hentry in
+              hentry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+              d
+        in
+        let served =
+          List.filter_map
+            (fun (q, vc) ->
+              let hq = home_page sys home_node q in
+              if Proto.Vclock.leq vc hq.hp_flush then
+                Some (q, Mem.Words.copy (master_of q), Proto.Vclock.copy hq.hp_flush)
+              else None)
+            extra_needed
+        in
+        let pages = 1 + List.length served in
+        let done_t =
+          serve sys home_node ~arrival:at ~cost:(request_service_cost *. float_of_int pages)
+        in
+        let snapshot = Mem.Words.copy (master_of page) in
+        let hp = home_page sys home_node page in
+        let flush = Proto.Vclock.copy hp.hp_flush in
+        let vclock_bytes =
+          Proto.Vclock.size_bytes flush
+          + List.fold_left (fun acc (_, _, vc) -> acc + 8 + Proto.Vclock.size_bytes vc) 0 served
+        in
+        let pb = Mem.Layout.page_bytes sys.layout in
+        send sys ~src:home_node ~dst:node.id ~at:done_t
+          ~bytes:(header_bytes + (pages * pb) + vclock_bytes)
+          ~update:(pages * pb)
+          (fun reply_at ->
+            Machine.Node.sync_to node.mach reply_at;
+            (* Install prefetched extras first; each re-checks that the
+               snapshot still covers the page's (possibly grown) needs and
+               that no concurrent fetch validated it in the meantime. *)
+            List.iter
+              (fun (q, snap, qflush) ->
+                let entry = Mem.Page_table.ensure node.pt q in
+                let qi = page_info sys node q in
+                if
+                  entry.Mem.Page_table.prot = Mem.Page_table.No_access
+                  && Proto.Vclock.leq qi.needed qflush
+                then begin
+                  install_home_copy ~write_through:(aurc sys) entry snap;
+                  entry.Mem.Page_table.prot <-
+                    (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
+                     else Mem.Page_table.Read_only)
+                end)
+              served;
+            if not (Proto.Vclock.leq pi.needed flush) then
+              fetch_from_home sys node page ~on_valid
+            else begin
+              let entry = Mem.Page_table.ensure node.pt page in
+              install_home_copy ~write_through:(aurc sys) entry snapshot;
+              entry.Mem.Page_table.prot <-
+                (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
+                 else Mem.Page_table.Read_only);
+              on_valid ()
+            end)
+      in
+      let hp = home_page sys home_node page in
+      if Proto.Vclock.leq needed hp.hp_flush then serve_fetch arrival
+      else begin
+        ignore (serve sys home_node ~arrival ~cost:request_service_cost);
+        hp.hp_pending <- { pf_needed = needed; pf_serve = serve_fetch } :: hp.hp_pending;
+        event sys home_node (Obs.Trace.Page_fetch_pending { page })
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Homeless fetch: full copy (if uncached) then missing diffs           *)
@@ -215,7 +337,7 @@ let collect_diffs sys node page ~on_valid =
         let bytes = header_bytes + (8 * List.length idxs) in
         event sys node
           (Obs.Trace.Diff_request { page; writer; intervals = List.length idxs });
-        send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.clock ~bytes ~update:0
+        send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes ~update:0
           (fun arrival ->
             let cost = request_service_cost *. float_of_int (List.length idxs) in
             let done_t = serve sys writer_node ~arrival ~cost in
@@ -243,7 +365,7 @@ let collect_diffs sys node page ~on_valid =
                 Machine.Node.sync_to node.mach reply_at;
                 List.iter (fun (idx, diff) -> received := (writer, idx, diff) :: !received) diffs;
                 decr outstanding;
-                if !outstanding = 0 then complete node.mach.Machine.Node.clock)))
+                if !outstanding = 0 then complete node.mach.Machine.Node.ck.Machine.Node.clock)))
       writers
   end
 
@@ -275,7 +397,7 @@ let fetch_full_page sys node page ~on_valid =
     let source_node = sys.nodes.(source) in
     node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
     event sys node (Obs.Trace.Full_page_fetch { page; source });
-    send sys ~src:node ~dst:source ~at:node.mach.Machine.Node.clock ~bytes:header_bytes
+    send sys ~src:node ~dst:source ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes:header_bytes
       ~update:0 (fun arrival ->
         let done_t = serve sys source_node ~arrival ~cost:request_service_cost in
         let sentry = Mem.Page_table.ensure source_node.pt page in
@@ -294,7 +416,7 @@ let fetch_full_page sys node page ~on_valid =
            taken, so any update pushed from now on reaches it (held in its
            backlog until the copy installs below). *)
         if eager_rc sys then register_copy sys node page;
-        let snapshot = Array.copy sdata in
+        let snapshot = Mem.Words.copy sdata in
         let spi = page_info sys source_node page in
         let applied = Proto.Vclock.copy spi.applied in
         let bytes =
@@ -309,7 +431,7 @@ let fetch_full_page sys node page ~on_valid =
                   Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry)
                 in
                 entry.Mem.Page_table.data <- Some snapshot;
-                entry.Mem.Page_table.twin <- Some (Array.copy snapshot);
+                entry.Mem.Page_table.twin <- Some (Mem.Words.copy snapshot);
                 Mem.Diff.apply own snapshot
             | true, None -> invalid_arg "fetch_full_page: dirty page without twin"
             | false, _ ->
@@ -351,7 +473,7 @@ let make_valid sys node page ~on_valid =
       end
       else begin
         let span =
-          span_begin sys ~node:node.id ~time:node.mach.Machine.Node.clock
+          span_begin sys ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock
             ~bucket:Obs.Trace.Wb_home ~resource:page
         in
         hp.hp_pending <-
@@ -360,7 +482,7 @@ let make_valid sys node page ~on_valid =
             pf_serve =
               (fun at ->
                 Machine.Node.sync_to node.mach at;
-                span_end sys ~node:node.id ~time:node.mach.Machine.Node.clock ~span
+                span_end sys ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span
                   ~bucket:Obs.Trace.Wb_home ~resource:page;
                 entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
                 on_valid ());
@@ -370,7 +492,11 @@ let make_valid sys node page ~on_valid =
     end
     else begin
       node.stats.Stats.c.Stats.read_misses <- node.stats.Stats.c.Stats.read_misses + 1;
-      fetch_from_home sys node page ~on_valid
+      if sys.cfg.Config.fault_batch > 1 then
+        match batch_candidates sys node page with
+        | [] -> fetch_from_home sys node page ~on_valid
+        | extras -> fetch_batch_from_home sys node page ~extras ~on_valid
+      else fetch_from_home sys node page ~on_valid
     end
   end
   else begin
@@ -422,7 +548,7 @@ let read_fault sys node page k =
   charge_protocol node c.Machine.Costs.page_fault;
   block sys node ~resource:page Wait_data k;
   make_valid sys node page ~on_valid:(fun () ->
-      resume sys node ~at:node.mach.Machine.Node.clock)
+      resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock)
 
 let write_fault sys node page k =
   let c = costs sys in
@@ -433,8 +559,8 @@ let write_fault sys node page k =
   if entry.Mem.Page_table.prot = Mem.Page_table.No_access then
     make_valid sys node page ~on_valid:(fun () ->
         make_writable sys node page;
-        resume sys node ~at:node.mach.Machine.Node.clock)
+        resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock)
   else begin
     make_writable sys node page;
-    resume sys node ~at:node.mach.Machine.Node.clock
+    resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock
   end

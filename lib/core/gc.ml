@@ -123,7 +123,7 @@ let run sys node ~on_done =
           discard_all sys node;
           node.in_gc <- false;
           on_done ());
-      send sys ~src:node ~dst:0 ~at:node.mach.Machine.Node.clock ~bytes:header_bytes ~update:0
+      send sys ~src:node ~dst:0 ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes:header_bytes ~update:0
         (fun arrival ->
           let done_t = serve_compute sys mgr ~arrival ~cost:scan_cost_per_page in
           sys.gc_nodes_done <- sys.gc_nodes_done + 1;

@@ -160,7 +160,7 @@ let end_interval sys node =
               let hp = home_page sys node page in
               Proto.Vclock.set hp.hp_flush node.id index;
               finish_page entry;
-              serve_pending_fetches hp ~at:node.mach.Machine.Node.clock
+              serve_pending_fetches hp ~at:node.mach.Machine.Node.ck.Machine.Node.clock
             end
             else begin
               (* The updates went out by write-through as they happened; only
@@ -181,7 +181,7 @@ let end_interval sys node =
                 node.stats.Stats.c.Stats.update_bytes
                 + (header_bytes * (au_messages - 1));
               finish_page entry;
-              send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.clock
+              send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.ck.Machine.Node.clock
                 ~bytes:(header_bytes + payload) ~update:payload (fun arrival ->
                   deliver_au_stamp sys sys.nodes.(home) ~arrival ~writer:node.id ~index ~page)
             end
@@ -197,7 +197,7 @@ let end_interval sys node =
               let hp = home_page sys node page in
               Proto.Vclock.set hp.hp_flush node.id index;
               finish_page entry;
-              serve_pending_fetches hp ~at:node.mach.Machine.Node.clock
+              serve_pending_fetches hp ~at:node.mach.Machine.Node.ck.Machine.Node.clock
             end
             else begin
               let twin =

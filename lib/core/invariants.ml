@@ -62,14 +62,15 @@ let check_page sys page =
   | (ref_node, ref_data) :: rest ->
       List.iter
         (fun (node, data) ->
-          Array.iteri
+          Mem.Words.iteri
             (fun off v ->
-              if Int64.bits_of_float v <> Int64.bits_of_float ref_data.(off) then
+              let r = Mem.Words.get ref_data off in
+              if Int64.bits_of_float v <> Int64.bits_of_float r then
                 raise
                   (Violation
                      (Printf.sprintf
                         "page %d word %d: node %d has %.17g, node %d has %.17g" page off node v
-                        ref_node ref_data.(off))))
+                        ref_node r)))
             data)
         rest
 

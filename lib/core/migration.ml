@@ -83,7 +83,7 @@ let transfer sys ~page ~old_home ~new_home ~at =
     | Some d -> d
     | None -> Mem.Page_table.attach_copy old_node.pt hentry
   in
-  let snapshot = Array.copy master in
+  let snapshot = Mem.Words.copy master in
   let hp_old = home_page sys old_node page in
   let flush = Proto.Vclock.copy hp_old.hp_flush in
   assert (hp_old.hp_pending = []);
@@ -133,7 +133,7 @@ let run sys epoch_ivs =
         let hp_old = home_page sys old_node page in
         let start at = transfer sys ~page ~old_home ~new_home ~at in
         if Proto.Vclock.leq required hp_old.hp_flush then
-          start mgr.mach.Machine.Node.clock
+          start mgr.mach.Machine.Node.ck.Machine.Node.clock
         else
           hp_old.hp_pending <-
             { pf_needed = required; pf_serve = start } :: hp_old.hp_pending)

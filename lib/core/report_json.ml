@@ -54,6 +54,7 @@ let config_json (cfg : Config.t) =
        ("seed", Int cfg.seed);
        ("costs", costs_json cfg.costs);
      ]
+    @ (if cfg.fault_batch > 1 then [ ("fault_batch", Int cfg.fault_batch) ] else [])
     @ if Config.chaos_enabled cfg then [ ("chaos", chaos_json cfg.chaos) ] else [])
 
 let breakdown_json (b : Stats.breakdown) =
@@ -67,7 +68,7 @@ let breakdown_json (b : Stats.breakdown) =
       ("gc", f b.gc);
     ]
 
-let counters_json ~chaos (c : Stats.counters) =
+let counters_json ~chaos ~batching (c : Stats.counters) =
   Obj
     ([
        ("read_misses", Int c.read_misses);
@@ -84,6 +85,7 @@ let counters_json ~chaos (c : Stats.counters) =
        ("gc_runs", Int c.gc_runs);
        ("home_migrations", Int c.home_migrations);
      ]
+    @ (if batching then [ ("batch_prefetches", Int c.batch_prefetches) ] else [])
     @
     if chaos then
       [
@@ -94,13 +96,13 @@ let counters_json ~chaos (c : Stats.counters) =
       ]
     else [])
 
-let node_json ~chaos (n : Runtime.node_report) =
+let node_json ~chaos ~batching (n : Runtime.node_report) =
   Obj
     [
       ("id", Int n.nr_id);
       ("elapsed_us", f n.nr_elapsed);
       ("breakdown", breakdown_json n.nr_breakdown);
-      ("counters", counters_json ~chaos n.nr_counters);
+      ("counters", counters_json ~chaos ~batching n.nr_counters);
       ("mem_peak", Int n.nr_mem_peak);
       ("mem_end", Int n.nr_mem_end);
       ("epochs", List (List.map breakdown_json n.nr_epochs));
@@ -114,6 +116,7 @@ let sum_counter (r : Runtime.report) field =
    the profiler stays byte-identical to the pre-profiler schema. *)
 let encode ?critical_path ?trace (r : Runtime.report) =
   let chaos = Config.chaos_enabled r.r_config in
+  let batching = r.r_config.Config.fault_batch > 1 in
   let chaos_totals =
     if not chaos then []
     else
@@ -150,7 +153,7 @@ let encode ?critical_path ?trace (r : Runtime.report) =
              ("mean_compute_us", f (Runtime.mean_compute r));
            ]
           @ chaos_totals) );
-      ("nodes", List (Array.to_list (Array.map (node_json ~chaos) r.r_nodes)));
+      ("nodes", List (Array.to_list (Array.map (node_json ~chaos ~batching) r.r_nodes)));
     ]
     @ (match trace with
       | None -> []

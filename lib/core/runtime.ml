@@ -155,14 +155,20 @@ let memory_digest sys =
       match Invariants.page_currents sys page with
     | [] -> mix 0x9E3779B97F4A7C15L (* no current copy: distinct marker *)
     | currents ->
-        let _, data =
-          List.fold_left
-            (fun ((best_id, _) as best) ((id, _) as cand) ->
-              if id < best_id then cand else best)
-            (max_int, [||]) currents
+        let data =
+          match
+            List.fold_left
+              (fun best ((id, _) as cand) ->
+                match best with
+                | Some (best_id, _) when best_id <= id -> best
+                | _ -> Some cand)
+              None currents
+          with
+          | Some (_, data) -> data
+          | None -> assert false (* [currents] is non-empty *)
         in
         mix (Int64.of_int page);
-        Array.iter (fun v -> mix (Int64.bits_of_float v)) data
+        Mem.Words.iter (fun v -> mix (Int64.bits_of_float v)) data
   done;
   !h
 
@@ -172,7 +178,7 @@ let collect sys =
       (fun (n : System.node_state) ->
         {
           nr_id = n.System.id;
-          nr_elapsed = n.System.mach.Machine.Node.clock -. n.System.start_clock;
+          nr_elapsed = n.System.mach.Machine.Node.ck.Machine.Node.clock -. n.System.start_clock;
           nr_breakdown = Stats.breakdown_sub n.System.stats.Stats.b n.System.start_breakdown;
           nr_counters = Stats.counters_sub n.System.stats.Stats.c n.System.start_counters;
           nr_mem_peak = Mem.Accounting.peak n.System.stats.Stats.proto_mem;

@@ -50,6 +50,7 @@ type counters = {
   mutable msg_retransmits : int;
   mutable msg_acks : int;
   mutable msg_dup_dropped : int;
+  mutable batch_prefetches : int;
 }
 
 let counters_copy c =
@@ -71,6 +72,7 @@ let counters_copy c =
     msg_retransmits = c.msg_retransmits;
     msg_acks = c.msg_acks;
     msg_dup_dropped = c.msg_dup_dropped;
+    batch_prefetches = c.batch_prefetches;
   }
 
 let counters_sub a b =
@@ -92,6 +94,7 @@ let counters_sub a b =
     msg_retransmits = a.msg_retransmits - b.msg_retransmits;
     msg_acks = a.msg_acks - b.msg_acks;
     msg_dup_dropped = a.msg_dup_dropped - b.msg_dup_dropped;
+    batch_prefetches = a.batch_prefetches - b.batch_prefetches;
   }
 
 let counters_zero () =
@@ -113,6 +116,7 @@ let counters_zero () =
     msg_retransmits = 0;
     msg_acks = 0;
     msg_dup_dropped = 0;
+    batch_prefetches = 0;
   }
 
 type t = {

@@ -43,6 +43,8 @@ type counters = {
   mutable msg_retransmits : int;  (** Transport retransmissions by this node. *)
   mutable msg_acks : int;  (** Transport acknowledgements sent by this node. *)
   mutable msg_dup_dropped : int;  (** Duplicates this node received and discarded. *)
+  mutable batch_prefetches : int;
+      (** Pages piggybacked on a batched fetch ([--fault-batch] > 1). *)
 }
 
 val counters_zero : unit -> counters

@@ -52,7 +52,7 @@ let resume_after_home_waits sys node waits =
            not (Proto.Vclock.leq pi.needed hp.hp_flush))
   in
   match waits with
-  | [] -> resume sys node ~at:node.mach.Machine.Node.clock
+  | [] -> resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock
   | _ ->
       let remaining = ref (List.length waits) in
       List.iter
@@ -63,7 +63,7 @@ let resume_after_home_waits sys node waits =
              lock/barrier bucket, but the causal layer records which master
              copy's in-flight diffs it is pinned on. *)
           let span =
-            span_begin sys ~node:node.id ~time:node.mach.Machine.Node.clock
+            span_begin sys ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock
               ~bucket:Obs.Trace.Wb_home ~resource:page
           in
           hp.hp_pending <-
@@ -72,10 +72,10 @@ let resume_after_home_waits sys node waits =
               pf_serve =
                 (fun at ->
                   Machine.Node.sync_to node.mach at;
-                  span_end sys ~node:node.id ~time:node.mach.Machine.Node.clock ~span
+                  span_end sys ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span
                     ~bucket:Obs.Trace.Wb_home ~resource:page;
                   decr remaining;
-                  if !remaining = 0 then resume sys node ~at:node.mach.Machine.Node.clock);
+                  if !remaining = 0 then resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock);
             }
             :: hp.hp_pending)
         waits
@@ -90,10 +90,10 @@ let grant_bytes sys ivs =
    intervals the requester lacks, ship them with the holder's timestamp.
    [at] is when the holder's processor starts this work. *)
 let send_grant sys holder ~lock ~requester ~req_vt ~at =
-  let c0 = holder.mach.Machine.Node.clock in
+  let c0 = holder.mach.Machine.Node.ck.Machine.Node.clock in
   Intervals.end_interval sys holder;
   charge_protocol holder (costs sys).Machine.Costs.lock_service;
-  let inline_work = holder.mach.Machine.Node.clock -. c0 in
+  let inline_work = holder.mach.Machine.Node.ck.Machine.Node.clock -. c0 in
   let ivs = Intervals.missing_intervals holder req_vt in
   let vt_copy = Proto.Vclock.copy holder.vt in
   let requester_node = sys.nodes.(requester) in
@@ -116,9 +116,9 @@ let receive_forward sys holder ~lock ~requester ~req_vt ~arrival =
   let ls = lock_state sys holder lock in
   (* Receiving a remote lock request delimits an interval (paper §2.1), even
      when the grant must wait for our release. *)
-  let c0 = holder.mach.Machine.Node.clock in
+  let c0 = holder.mach.Machine.Node.ck.Machine.Node.clock in
   Intervals.end_interval sys holder;
-  let extra = holder.mach.Machine.Node.clock -. c0 in
+  let extra = holder.mach.Machine.Node.ck.Machine.Node.clock -. c0 in
   if ls.lk_held || ls.lk_waiting then begin
     assert (ls.lk_waiter = None);
     ls.lk_waiter <- Some (requester, req_vt);
@@ -157,7 +157,7 @@ let acquire sys node lock k =
     ls.lk_held <- true;
     event sys node (Obs.Trace.Lock_acquire { lock; remote = false });
     block sys node ~resource:lock Wait_lock k;
-    resume sys node ~at:node.mach.Machine.Node.clock
+    resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock
   end
   else begin
     node.stats.Stats.c.Stats.remote_acquires <- node.stats.Stats.c.Stats.remote_acquires + 1;
@@ -169,9 +169,9 @@ let acquire sys node lock k =
     let req_vt = Proto.Vclock.copy node.vt in
     let mgr = manager_of sys lock in
     if mgr = node.id then
-      receive_request sys ~lock ~requester:node.id ~req_vt ~arrival:node.mach.Machine.Node.clock
+      receive_request sys ~lock ~requester:node.id ~req_vt ~arrival:node.mach.Machine.Node.ck.Machine.Node.clock
     else
-      send sys ~src:node ~dst:mgr ~at:node.mach.Machine.Node.clock
+      send sys ~src:node ~dst:mgr ~at:node.mach.Machine.Node.ck.Machine.Node.clock
         ~bytes:(header_bytes + (4 * nprocs sys)) ~update:0 (fun arrival ->
           receive_request sys ~lock ~requester:node.id ~req_vt ~arrival)
   end
@@ -188,7 +188,7 @@ let release sys node lock =
       ls.lk_token <- false;
       rc_when_drained sys node (fun drain_at ->
           send_grant sys node ~lock ~requester ~req_vt
-            ~at:(Float.max drain_at node.mach.Machine.Node.clock))
+            ~at:(Float.max drain_at node.mach.Machine.Node.ck.Machine.Node.clock))
 
 (* ------------------------------------------------------------------ *)
 (* Barriers                                                           *)
@@ -221,7 +221,7 @@ let apply_release sys node ~ivs ~max_vt ~gc ~resume_now =
   if resume_now then begin
     if gc then begin
       rebucket_block sys node Wait_gc;
-      Gc.run sys node ~on_done:(fun () -> resume sys node ~at:node.mach.Machine.Node.clock)
+      Gc.run sys node ~on_done:(fun () -> resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock)
     end
     else resume_after_home_waits sys node home_waits
   end
@@ -256,7 +256,7 @@ let complete_barrier sys =
         let ivs = Intervals.missing_intervals mgr vt in
         charge_protocol mgr c.Machine.Costs.barrier_service;
         let bytes = header_bytes + (4 * nprocs sys) + Intervals.intervals_bytes ivs in
-        send sys ~src:mgr ~dst:from ~at:mgr.mach.Machine.Node.clock ~bytes ~update:0
+        send sys ~src:mgr ~dst:from ~at:mgr.mach.Machine.Node.ck.Machine.Node.clock ~bytes ~update:0
           (fun arrival ->
             Machine.Node.sync_to node.mach arrival;
             apply_release sys node ~ivs ~max_vt ~gc ~resume_now:true)
@@ -268,7 +268,7 @@ let complete_barrier sys =
   note_release_applied sys;
   if gc then begin
     rebucket_block sys mgr Wait_gc;
-    Gc.run sys mgr ~on_done:(fun () -> resume sys mgr ~at:mgr.mach.Machine.Node.clock)
+    Gc.run sys mgr ~on_done:(fun () -> resume sys mgr ~at:mgr.mach.Machine.Node.ck.Machine.Node.clock)
   end
   else resume_after_home_waits sys mgr mgr_waits
 
@@ -299,7 +299,7 @@ let barrier sys node k =
   if spans_on sys then event sys node (Obs.Trace.Mem_sample { bytes = mem });
   (* Eager RC: the barrier arrival waits for this node's update acks. *)
   rc_when_drained sys node (fun drain_at ->
-      let at = Float.max drain_at node.mach.Machine.Node.clock in
+      let at = Float.max drain_at node.mach.Machine.Node.ck.Machine.Node.clock in
       if node.id = 0 then arrive sys ~from:0 ~vt ~ivs:own ~mem
       else
         let bytes = header_bytes + (4 * nprocs sys) + Intervals.intervals_bytes own in

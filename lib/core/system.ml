@@ -122,7 +122,9 @@ type t = {
       (* pages of allocations marked [~scratch]: schedule-dependent state
          (e.g. task-queue cursors) excluded from the result digest *)
   lock_last : (int, int) Hashtbl.t;  (* manager state: lock -> last requester *)
-  channels : (int * int, float) Hashtbl.t;  (* (src,dst) -> last arrival *)
+  channels : float array;
+      (* (src * nprocs + dst) -> last arrival; a flat float array so the
+         per-message FIFO-clamp lookup allocates no tuple key *)
   barrier : barrier_state;
   migration_prev : (int, int) Hashtbl.t;
       (* home migration: page -> dominant writer of the previous epoch
@@ -301,7 +303,9 @@ let create (cfg : Config.t) =
     {
       cfg;
       layout;
-      engine = Sim.Engine.create ();
+      (* Steady state pends a few events per node (timers, transfers,
+         barrier wakeups), so seed the event set accordingly. *)
+      engine = Sim.Engine.create ~capacity:(4 * cfg.Config.nprocs) ();
       net = Machine.Network.create ~costs:cfg.Config.costs ~nprocs;
       nodes = Array.init nprocs node;
     next_addr = 0;
@@ -312,7 +316,7 @@ let create (cfg : Config.t) =
     copyset_tbl = Hashtbl.create 256;
     roots = Hashtbl.create 16;
     lock_last = Hashtbl.create 16;
-    channels = Hashtbl.create 64;
+    channels = Array.make (nprocs * nprocs) 0.;
     barrier =
       { bar_arrived = 0; bar_queue = []; bar_mem_high = false; bar_epoch = 0; bar_released = 0 };
       migration_prev = Hashtbl.create 64;
@@ -361,7 +365,7 @@ let now t = Sim.Engine.now t.engine
 
 (* Emission at the node's current virtual clock (the common case). *)
 let event t node kind =
-  if observing t then event_at t ~node:node.id ~time:node.mach.Machine.Node.clock kind
+  if observing t then event_at t ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock kind
 
 (* Observer closure for diff-level emission ([Mem.Diff.apply ?obs]):
    [None] when tracing is off so the hot path stays allocation-free. *)
@@ -430,17 +434,24 @@ let home_page t node page =
    multiplier ([1.0], hence bit-exact identity, on fault-free runs). The
    communication co-processor is not slowed: it is dedicated hardware. *)
 
+(* The three charge functions bump the clock directly rather than through
+   [Machine.Node.advance]: a cross-module call would box [dt], and
+   [charge_compute] runs once per simulated memory access. All stores here
+   are to all-float records, so a charge allocates nothing. *)
 let charge_compute node dt =
   let dt = dt *. node.slowdown in
-  Machine.Node.advance node.mach dt;
-  node.stats.Stats.b.Stats.compute <- node.stats.Stats.b.Stats.compute +. dt
+  let ck = node.mach.Machine.Node.ck in
+  ck.Machine.Node.clock <- ck.Machine.Node.clock +. dt;
+  let b = node.stats.Stats.b in
+  b.Stats.compute <- b.Stats.compute +. dt
 
 (* Protocol/GC work can also run while the node's process is blocked (e.g.
    write-notice handling on a lock grant, interrupt service); crediting it to
    [wait_services] keeps the wait buckets from double-counting it. *)
 let charge_protocol node dt =
   let dt = dt *. node.slowdown in
-  Machine.Node.advance node.mach dt;
+  let ck = node.mach.Machine.Node.ck in
+  ck.Machine.Node.clock <- ck.Machine.Node.clock +. dt;
   let b = node.stats.Stats.b in
   if node.in_gc then b.Stats.gc <- b.Stats.gc +. dt
   else b.Stats.protocol <- b.Stats.protocol +. dt;
@@ -448,7 +459,8 @@ let charge_protocol node dt =
 
 let charge_gc node dt =
   let dt = dt *. node.slowdown in
-  Machine.Node.advance node.mach dt;
+  let ck = node.mach.Machine.Node.ck in
+  ck.Machine.Node.clock <- ck.Machine.Node.clock +. dt;
   node.stats.Stats.b.Stats.gc <- node.stats.Stats.b.Stats.gc +. dt;
   if node.blocked <> None then node.wait_services <- node.wait_services +. dt
 
@@ -491,10 +503,10 @@ let send t ~src ~dst ~at ~bytes ~update handler =
       let arrival =
         if src.id = dst then arrival
         else begin
-          let key = (src.id, dst) in
-          let last = try Hashtbl.find t.channels key with Not_found -> 0. in
+          let key = (src.id * Array.length t.nodes) + dst in
+          let last = Array.unsafe_get t.channels key in
           let arrival = if arrival <= last then last +. 1e-6 else arrival in
-          Hashtbl.replace t.channels key arrival;
+          Array.unsafe_set t.channels key arrival;
           arrival
         end
       in
@@ -541,11 +553,11 @@ let local_protocol_work t node ~cost =
     let c = costs t in
     charge_protocol node c.Machine.Costs.coproc_dispatch;
     Machine.Node.coproc_service node.mach ~dispatch:c.Machine.Costs.coproc_dispatch
-      ~arrival:node.mach.Machine.Node.clock ~cost
+      ~arrival:node.mach.Machine.Node.ck.Machine.Node.clock ~cost
   end
   else begin
     charge_protocol node cost;
-    node.mach.Machine.Node.clock
+    node.mach.Machine.Node.ck.Machine.Node.clock
   end
 
 (* ------------------------------------------------------------------ *)
@@ -556,7 +568,7 @@ let block t node ?(resource = 0) kind k =
   assert (node.cont = None);
   node.cont <- Some k;
   node.blocked <- Some kind;
-  node.block_clock <- node.mach.Machine.Node.clock;
+  node.block_clock <- node.mach.Machine.Node.ck.Machine.Node.clock;
   node.wait_services <- 0.;
   node.wait_resource <- resource;
   node.wait_span <-
@@ -573,7 +585,7 @@ let resume t node ~at =
       node.blocked <- None;
       Machine.Node.sync_to node.mach at;
       let wait =
-        Float.max 0. (node.mach.Machine.Node.clock -. node.block_clock -. node.wait_services)
+        Float.max 0. (node.mach.Machine.Node.ck.Machine.Node.clock -. node.block_clock -. node.wait_services)
       in
       let b = node.stats.Stats.b in
       (match kind with
@@ -581,10 +593,10 @@ let resume t node ~at =
       | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
       | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
       | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
-      span_end t ~node:node.id ~time:node.mach.Machine.Node.clock ~span:node.wait_span
+      span_end t ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span:node.wait_span
         ~bucket:(bucket_of_kind kind) ~resource:node.wait_resource;
       node.wait_span <- -1;
-      let at' = Float.max (now t) node.mach.Machine.Node.clock in
+      let at' = Float.max (now t) node.mach.Machine.Node.ck.Machine.Node.clock in
       Sim.Engine.schedule t.engine ~at:at' (fun () -> Effect.Deep.continue k ())
   | _ -> invalid_arg "System.resume: node is not blocked"
 
@@ -595,7 +607,7 @@ let rebucket_block t node ?(resource = 0) kind =
   | None -> invalid_arg "System.rebucket_block: node is not blocked"
   | Some old_kind ->
       let wait =
-        Float.max 0. (node.mach.Machine.Node.clock -. node.block_clock -. node.wait_services)
+        Float.max 0. (node.mach.Machine.Node.ck.Machine.Node.clock -. node.block_clock -. node.wait_services)
       in
       let b = node.stats.Stats.b in
       (match old_kind with
@@ -603,10 +615,10 @@ let rebucket_block t node ?(resource = 0) kind =
       | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
       | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
       | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
-      span_end t ~node:node.id ~time:node.mach.Machine.Node.clock ~span:node.wait_span
+      span_end t ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span:node.wait_span
         ~bucket:(bucket_of_kind old_kind) ~resource:node.wait_resource;
       node.blocked <- Some kind;
-      node.block_clock <- node.mach.Machine.Node.clock;
+      node.block_clock <- node.mach.Machine.Node.ck.Machine.Node.clock;
       node.wait_services <- 0.;
       node.wait_resource <- resource;
       node.wait_span <-
@@ -693,7 +705,7 @@ let installed_member t page =
 (* Run [f] once all of this node's pushed updates are acknowledged (eager
    RC release semantics: the handoff must not overtake the updates). *)
 let rc_when_drained t node f =
-  if (not (eager_rc t)) || node.rc_acks = 0 then f node.mach.Machine.Node.clock
+  if (not (eager_rc t)) || node.rc_acks = 0 then f node.mach.Machine.Node.ck.Machine.Node.clock
   else node.rc_drain <- f :: node.rc_drain
 
 let rc_ack_arrived t node ~at =
@@ -704,5 +716,5 @@ let rc_ack_arrived t node ~at =
   if node.rc_acks = 0 then begin
     let actions = List.rev node.rc_drain in
     node.rc_drain <- [];
-    List.iter (fun f -> f node.mach.Machine.Node.clock) actions
+    List.iter (fun f -> f node.mach.Machine.Node.ck.Machine.Node.clock) actions
   end

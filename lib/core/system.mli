@@ -106,7 +106,7 @@ type t = {
   roots : (string, int) Hashtbl.t;
   scratch_tbl : (int, unit) Hashtbl.t;
   lock_last : (int, int) Hashtbl.t;
-  channels : (int * int, float) Hashtbl.t;
+  channels : float array;  (** (src * nprocs + dst) -> last arrival. *)
   barrier : barrier_state;
   migration_prev : (int, int) Hashtbl.t;
   mutable gc_nodes_done : int;

@@ -261,3 +261,57 @@ let home_migration ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
         moves
         (fixed.Svm.Runtime.r_elapsed /. migrating.Svm.Runtime.r_elapsed))
     node_counts
+
+(* --- Batched fault handling (--fault-batch; zero-alloc/event-core PR
+   extension): how much round-trip amortization buys per protocol --- *)
+
+let fault_batch ppf ?(pool = Pool.sequential) ~scale ~node_counts () =
+  title ppf "Ablation: batched fault handling under HLRC (--fault-batch)";
+  Format.fprintf ppf
+    "Runs of adjacent same-home invalid pages are pulled in one round trip.@.";
+  Format.fprintf ppf
+    "Homes are block-placed (adjacent pages share a home) so runs exist.@.@.";
+  Format.fprintf ppf "%-16s %5s | %10s %10s %10s %10s | %9s %9s %10s@." "" "nodes"
+    "N=1 (s)" "N=2 (s)" "N=4 (s)" "N=8 (s)" "fetch@1" "fetch@8" "prefetch@8";
+  hline ppf 106;
+  let batches = [ 1; 2; 4; 8 ] in
+  let apps = [ Apps.Registry.raytrace scale; Apps.Registry.sor scale ] in
+  let app_of name =
+    List.find (fun (a : Apps.Registry.t) -> a.Apps.Registry.name = name) apps
+  in
+  let specs =
+    List.concat_map
+      (fun (app : Apps.Registry.t) ->
+        List.concat_map
+          (fun np -> List.map (fun b -> (app.Apps.Registry.name, np, b)) batches)
+          node_counts)
+      apps
+  in
+  let report =
+    evaluate pool specs (fun (name, np, fault_batch) ->
+        let cfg =
+          Svm.Config.make ~home_policy:Svm.Config.Block ~fault_batch ~nprocs:np
+            Svm.Config.Hlrc
+        in
+        snd (elapsed_of cfg (app_of name).Apps.Registry.body))
+  in
+  List.iter
+    (fun (app : Apps.Registry.t) ->
+      List.iter
+        (fun np ->
+          let t b =
+            (report (app.Apps.Registry.name, np, b)).Svm.Runtime.r_elapsed /. 1e6
+          in
+          let sum b f =
+            Array.fold_left
+              (fun acc n -> acc + f n.Svm.Runtime.nr_counters)
+              0
+              (report (app.Apps.Registry.name, np, b)).Svm.Runtime.r_nodes
+          in
+          Format.fprintf ppf "%-16s %5d | %10.3f %10.3f %10.3f %10.3f | %9d %9d %10d@."
+            app.Apps.Registry.name np (t 1) (t 2) (t 4) (t 8)
+            (sum 1 (fun c -> c.Svm.Stats.page_fetches))
+            (sum 8 (fun c -> c.Svm.Stats.page_fetches))
+            (sum 8 (fun c -> c.Svm.Stats.batch_prefetches)))
+        node_counts)
+    apps

@@ -62,3 +62,13 @@ val home_migration :
   node_counts:int list ->
   unit ->
   unit
+
+(** Batched fault handling: elapsed time for [--fault-batch] 1/2/4/8 under
+    HLRC, plus the pages actually piggybacked at N=8. *)
+val fault_batch :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  scale:Apps.Registry.scale ->
+  node_counts:int list ->
+  unit ->
+  unit

@@ -10,11 +10,13 @@ type t
     checks every run against its sequential reference. [sink] receives the
     typed trace events of every uncached run (see {!Obs.Trace}). [chaos]
     (default {!Machine.Chaos.none}) applies one fault-injection plan to
-    every cell. *)
+    every cell. [fault_batch] (default 1) sets {!Svm.Config.fault_batch}
+    on every cell. *)
 val create :
   ?verify:bool ->
   ?sink:Obs.Trace.sink ->
   ?chaos:Machine.Chaos.params ->
+  ?fault_batch:int ->
   scale:Apps.Registry.scale ->
   unit ->
   t

@@ -1,0 +1,105 @@
+(* Raw-speed microbenchmark: how fast does the simulator itself run?
+
+   Everything else in the harness measures *simulated* time; this measures
+   *host* time and allocation for a fixed, deterministic workload. Each
+   cell runs one protocol x application x node-count configuration at
+   Bench scale and reports
+
+   - events/sec: simulation events executed per host wall-clock second;
+   - minor words/event: minor-heap words allocated per event (the
+     allocation gate — deterministic for a fixed build, so CI compares it
+     exactly, unlike wall clock);
+   - wall seconds.
+
+   The events-executed count is itself part of the byte-identity contract
+   (it appears in the report), so events/sec moves only when the host-side
+   implementation gets faster or slower, never because the workload
+   changed silently. [run_cell] runs the cell once unmeasured to warm the
+   minor heap sizing and code paths, then measures a second run. *)
+
+type cell = {
+  c_app : string;
+  c_proto : Svm.Config.protocol;
+  c_nodes : int;
+}
+
+type result = {
+  r_cell : cell;
+  r_events : int;
+  r_wall_s : float;
+  r_minor_words_per_event : float;
+  r_events_per_sec : float;
+}
+
+(* One home-based and one homeless cell, per the acceptance bar ("at least
+   one LU or SOR cell"): SOR/LRC is allocation-heavy (diff traffic),
+   LU/HLRC is fault/message-heavy. *)
+let default_cells =
+  [
+    { c_app = "lu"; c_proto = Svm.Config.Hlrc; c_nodes = 16 };
+    { c_app = "sor"; c_proto = Svm.Config.Lrc; c_nodes = 16 };
+  ]
+
+let cell_name c =
+  Printf.sprintf "%s/%s/%d" c.c_app
+    (String.lowercase_ascii (Svm.Config.protocol_name c.c_proto))
+    c.c_nodes
+
+let run_once c =
+  let app =
+    match Apps.Registry.find c.c_app Apps.Registry.Bench with
+    | Some app -> app
+    | None -> invalid_arg (Printf.sprintf "Perf.run_cell: unknown app %S" c.c_app)
+  in
+  let cfg = Svm.Config.make ~nprocs:c.c_nodes c.c_proto in
+  Svm.Runtime.run cfg (app.body ~verify:false)
+
+let run_cell c =
+  ignore (run_once c);
+  (* [Svm.Gc] is the simulator's diff collector; the allocation counter is
+     the real one. *)
+  let minor0 = Stdlib.Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let report = run_once c in
+  let wall = Unix.gettimeofday () -. t0 in
+  let minor = Stdlib.Gc.minor_words () -. minor0 in
+  let events = report.Svm.Runtime.r_events in
+  {
+    r_cell = c;
+    r_events = events;
+    r_wall_s = wall;
+    r_minor_words_per_event = minor /. float_of_int events;
+    r_events_per_sec = float_of_int events /. wall;
+  }
+
+let run_all ?(cells = default_cells) () = List.map run_cell cells
+
+let pp_table ppf results =
+  Format.fprintf ppf "%-14s %10s %12s %14s %10s@." "cell" "events" "events/s"
+    "minor w/event" "wall s";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-14s %10d %12.0f %14.1f %10.3f@." (cell_name r.r_cell)
+        r.r_events r.r_events_per_sec r.r_minor_words_per_event r.r_wall_s)
+    results
+
+let result_json r =
+  Obs.Json.Obj
+    [
+      ("app", Obs.Json.String r.r_cell.c_app);
+      ( "protocol",
+        Obs.Json.String
+          (String.lowercase_ascii (Svm.Config.protocol_name r.r_cell.c_proto)) );
+      ("nodes", Obs.Json.Int r.r_cell.c_nodes);
+      ("events", Obs.Json.Int r.r_events);
+      ("minor_words_per_event", Obs.Json.Float r.r_minor_words_per_event);
+      ("events_per_sec", Obs.Json.Float r.r_events_per_sec);
+      ("wall_s", Obs.Json.Float r.r_wall_s);
+    ]
+
+let to_json results =
+  Obs.Json.Obj
+    [
+      ("schema_version", Obs.Json.Int 1);
+      ("cells", Obs.Json.List (List.map result_json results));
+    ]

@@ -1,0 +1,32 @@
+(** Host-side raw-speed microbenchmark: events/sec, minor words allocated
+    per event, and wall clock for fixed Bench-scale cells. The allocation
+    rate is deterministic for a fixed build, so the CI perf gate compares
+    it exactly; wall clock gets a generous noise threshold. *)
+
+type cell = {
+  c_app : string;  (** Registry name, e.g. ["lu"]. *)
+  c_proto : Svm.Config.protocol;
+  c_nodes : int;
+}
+
+type result = {
+  r_cell : cell;
+  r_events : int;  (** Simulation events executed (workload size). *)
+  r_wall_s : float;  (** Host wall-clock seconds for the measured run. *)
+  r_minor_words_per_event : float;
+  r_events_per_sec : float;
+}
+
+(** [lu/hlrc/16] and [sor/lrc/16] at Bench scale. *)
+val default_cells : cell list
+
+val cell_name : cell -> string
+
+(** Run the cell once to warm up, then measure a second run. *)
+val run_cell : cell -> result
+
+val run_all : ?cells:cell list -> unit -> result list
+
+val pp_table : Format.formatter -> result list -> unit
+
+val to_json : result list -> Obs.Json.t

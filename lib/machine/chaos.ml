@@ -45,11 +45,19 @@ let spike_one_in = 64
 
 let spike_factor = 8.0
 
+type verdict = {
+  mutable drop : bool;
+  mutable duplicate : bool;
+  mutable delay : float;
+  mutable dup_delay : float;
+}
+
 type t = {
   p : params;
   nprocs : int;
   links : (int, Sim.Rng.t) Hashtbl.t;  (* src * nprocs + dst -> stream *)
   slowdowns : float array;  (* per-node CPU multiplier, drawn at create *)
+  scratch : verdict;  (* pooled: [judge] refills and returns this record *)
 }
 
 let params t = t.p
@@ -66,7 +74,13 @@ let create p ~nprocs =
       Array.init nprocs (fun _ -> 1.0 +. Sim.Rng.float rng (p.straggler -. 1.0))
     end
   in
-  { p; nprocs; links = Hashtbl.create 64; slowdowns }
+  {
+    p;
+    nprocs;
+    links = Hashtbl.create 64;
+    slowdowns;
+    scratch = { drop = false; duplicate = false; delay = 0.; dup_delay = 0. };
+  }
 
 let link_rng t ~src ~dst =
   let key = (src * t.nprocs) + dst in
@@ -77,13 +91,6 @@ let link_rng t ~src ~dst =
       Hashtbl.replace t.links key rng;
       rng
 
-type verdict = {
-  drop : bool;
-  duplicate : bool;
-  delay : float;
-  dup_delay : float;
-}
-
 let one_delay t rng =
   if t.p.jitter = 0. then 0.
   else begin
@@ -93,12 +100,13 @@ let one_delay t rng =
 
 let judge t ~src ~dst =
   let rng = link_rng t ~src ~dst in
+  let v = t.scratch in
   (* Fixed draw order so the stream stays aligned across outcomes. *)
-  let drop = t.p.drop_rate > 0. && Sim.Rng.float rng 1.0 < t.p.drop_rate in
-  let duplicate = t.p.dup_rate > 0. && Sim.Rng.float rng 1.0 < t.p.dup_rate in
-  let delay = one_delay t rng in
-  let dup_delay = one_delay t rng in
-  { drop; duplicate; delay; dup_delay }
+  v.drop <- t.p.drop_rate > 0. && Sim.Rng.float rng 1.0 < t.p.drop_rate;
+  v.duplicate <- t.p.dup_rate > 0. && Sim.Rng.float rng 1.0 < t.p.dup_rate;
+  v.delay <- one_delay t rng;
+  v.dup_delay <- one_delay t rng;
+  v
 
 let slowdown t ~node = t.slowdowns.(node)
 

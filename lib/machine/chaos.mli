@@ -48,12 +48,17 @@ val enabled_t : t -> bool
     [delay] applies to the primary copy, [dup_delay] to the duplicate (only
     meaningful when [duplicate]); both are extra latency in microseconds.
     All four draws are consumed on every call, so the per-link stream stays
-    aligned whatever the outcomes are. *)
+    aligned whatever the outcomes are.
+
+    The returned record is a pooled scratch owned by the plan — the next
+    [judge] call on the same plan overwrites it, so read the fields before
+    judging again (a chaos run issues one verdict per message copy, and a
+    fresh record per copy was measurable allocation for nothing). *)
 type verdict = {
-  drop : bool;
-  duplicate : bool;
-  delay : float;
-  dup_delay : float;
+  mutable drop : bool;
+  mutable duplicate : bool;
+  mutable delay : float;
+  mutable dup_delay : float;
 }
 
 val judge : t -> src:int -> dst:int -> verdict

@@ -5,10 +5,16 @@
     clock that application execution and protocol overhead advance, and the
     co-processor as a busy-until timeline serviced in FIFO order. *)
 
-type t = {
-  id : int;
+(** The float timelines, nested in their own all-float record so stores
+    stay unboxed on the per-memory-access hot path. *)
+type clocks = {
   mutable clock : float;  (** Compute-processor virtual time (us). *)
   mutable coproc_busy : float;  (** Co-processor busy until this time. *)
+}
+
+type t = {
+  id : int;
+  ck : clocks;
   mutable interrupts : int;  (** Compute-processor interrupts serviced. *)
   mutable coproc_requests : int;  (** Requests serviced by the co-processor. *)
 }

@@ -19,12 +19,20 @@ let seq_bytes = 8
 
 let ack_bytes = 16
 
+(* Pooled: a transport recycles packet records through a free list. A
+   packet may be captured by scheduled closures (retransmission timers,
+   in-flight copies) that fire after the ack, so recycling is refcounted:
+   [p_refs] counts pending closures, and a packet returns to the pool only
+   when the last one fires with the packet no longer in flight. The
+   handler is swapped for a dummy at that point so a pooled husk never
+   pins an application closure (same discipline as the event queues). *)
 type packet = {
-  p_seq : int;
-  p_bytes : int;
-  p_handler : float -> unit;
+  mutable p_seq : int;
+  mutable p_bytes : int;
+  mutable p_handler : float -> unit;
   mutable p_retries : int;
   mutable p_rto : float;
+  mutable p_refs : int;
 }
 
 type link = {
@@ -45,10 +53,36 @@ type t = {
   max_retries : int;
   notify : time:float -> notice -> unit;
   links : (int * int, link) Hashtbl.t;
+  mutable pool : packet list;  (* free packets, recycled by [release] *)
 }
 
 let create ~engine ~net ~chaos ?(max_retries = 10) ~notify () =
-  { engine; net; chaos; max_retries; notify; links = Hashtbl.create 64 }
+  { engine; net; chaos; max_retries; notify; links = Hashtbl.create 64; pool = [] }
+
+let dummy_handler (_ : float) = ()
+
+(* Drop one closure's claim on [p]; recycle once nothing can fire for it.
+   While a packet is in flight its retransmission timer always holds a
+   reference, so an in-flight packet is never recycled. *)
+let release t l (p : packet) =
+  p.p_refs <- p.p_refs - 1;
+  if p.p_refs = 0 && not (Hashtbl.mem l.l_inflight p.p_seq) then begin
+    p.p_handler <- dummy_handler;
+    t.pool <- p :: t.pool
+  end
+
+let alloc_packet t ~seq ~bytes ~handler ~rto =
+  match t.pool with
+  | p :: rest ->
+      t.pool <- rest;
+      p.p_seq <- seq;
+      p.p_bytes <- bytes;
+      p.p_handler <- handler;
+      p.p_retries <- 0;
+      p.p_rto <- rto;
+      p
+  | [] ->
+      { p_seq = seq; p_bytes = bytes; p_handler = handler; p_retries = 0; p_rto = rto; p_refs = 0 }
 
 let link t ~src ~dst =
   match Hashtbl.find_opt t.links (src, dst) with
@@ -138,10 +172,13 @@ let transmit t l (p : packet) ~at =
     Network.transfer_time t.net ~src:l.l_src ~dst:l.l_dst ~bytes:(p.p_bytes + seq_bytes)
   in
   let copy delay =
+    p.p_refs <- p.p_refs + 1;
     Sim.Engine.schedule t.engine
       ~at:(at +. transfer +. delay)
       (fun () ->
-        receive t l ~seq:p.p_seq ~handler:p.p_handler ~at:(Sim.Engine.now t.engine))
+        let seq = p.p_seq and handler = p.p_handler in
+        release t l p;
+        receive t l ~seq ~handler ~at:(Sim.Engine.now t.engine))
   in
   if v.Chaos.drop then
     t.notify ~time:at
@@ -153,14 +190,17 @@ let transmit t l (p : packet) ~at =
   end
 
 let rec arm_timer t l (p : packet) ~at =
+  p.p_refs <- p.p_refs + 1;
   Sim.Engine.schedule t.engine ~at:(at +. p.p_rto) (fun () ->
-      if Hashtbl.mem l.l_inflight p.p_seq then begin
+      if not (Hashtbl.mem l.l_inflight p.p_seq) then release t l p
+      else begin
         let now = Sim.Engine.now t.engine in
         if p.p_retries >= t.max_retries then begin
           Hashtbl.remove l.l_inflight p.p_seq;
           l.l_gave_up <- (p.p_seq, p.p_retries) :: l.l_gave_up;
           t.notify ~time:now
-            (Gave_up { src = l.l_src; dst = l.l_dst; seq = p.p_seq; retries = p.p_retries })
+            (Gave_up { src = l.l_src; dst = l.l_dst; seq = p.p_seq; retries = p.p_retries });
+          release t l p
         end
         else begin
           p.p_retries <- p.p_retries + 1;
@@ -175,7 +215,8 @@ let rec arm_timer t l (p : packet) ~at =
                  bytes = p.p_bytes;
                });
           transmit t l p ~at:now;
-          arm_timer t l p ~at:now
+          arm_timer t l p ~at:now;
+          release t l p
         end
       end)
 
@@ -183,13 +224,7 @@ let send t ~src ~dst ~at ~bytes handler =
   if src = dst then invalid_arg "Transport.send: loopback is the caller's fast path";
   let l = link t ~src ~dst in
   let p =
-    {
-      p_seq = l.l_next_seq;
-      p_bytes = bytes;
-      p_handler = handler;
-      p_retries = 0;
-      p_rto = initial_rto t l ~bytes;
-    }
+    alloc_packet t ~seq:l.l_next_seq ~bytes ~handler ~rto:(initial_rto t l ~bytes)
   in
   l.l_next_seq <- l.l_next_seq + 1;
   Hashtbl.replace l.l_inflight p.p_seq p;

@@ -1,24 +1,25 @@
 (** Word-granularity diffs.
 
-    A diff records the words of a page that changed relative to its twin, as
-    (offset, new value) pairs in increasing offset order. Applying a diff
-    overwrites exactly those words, which is what lets multiple concurrent
-    writers of disjoint words on the same page merge correctly. *)
+    A diff records the words of a page that changed relative to its twin,
+    as parallel [offsets]/[values] arrays in increasing offset order (both
+    flat — no per-word boxing). Applying a diff overwrites exactly those
+    words, which is what lets multiple concurrent writers of disjoint
+    words on the same page merge correctly. *)
 
-type t = private { page : int; words : (int * float) array }
+type t = private { page : int; offsets : int array; values : float array }
 
 (** [create ~page ~twin ~current] computes the diff between [twin] (the clean
     copy) and [current] (the dirty copy). Float comparison is bit-wise so
     that a write of the same value is (correctly) not treated as a change,
-    matching memcmp-based diffing. Arrays must have equal length. *)
-val create : page:int -> twin:float array -> current:float array -> t
+    matching memcmp-based diffing. Both must have equal length. *)
+val create : page:int -> twin:Words.t -> current:Words.t -> t
 
 (** [apply ?obs t data] writes the diff's words into [data]. When [obs] is
     given, a typed {!Obs.Trace.Diff_apply} event (page, changed words, wire
     bytes) is emitted through it — the structured-observability hook the
     simulator's runtime threads down here so every observed diff
     application is attributed to the node whose copy it mutates. *)
-val apply : ?obs:(Obs.Trace.kind -> unit) -> t -> float array -> unit
+val apply : ?obs:(Obs.Trace.kind -> unit) -> t -> Words.t -> unit
 
 (** The {!Obs.Trace.Diff_create} event describing this diff, for callers
     that observe diff construction. *)
@@ -35,5 +36,8 @@ val size_bytes : t -> int
 (** [merge older newer] produces a diff equivalent to applying [older] then
     [newer]. Both must be diffs of the same page. *)
 val merge : t -> t -> t
+
+(** [iter f t] calls [f offset value] for each entry in offset order. *)
+val iter : (int -> float -> unit) -> t -> unit
 
 val pp : Format.formatter -> t -> unit

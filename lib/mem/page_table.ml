@@ -2,11 +2,11 @@ type protection = No_access | Read_only | Read_write
 
 type entry = {
   page : int;
-  mutable data : float array option;
+  mutable data : Words.t option;
   mutable prot : protection;
-  mutable twin : float array option;
+  mutable twin : Words.t option;
   mutable dirty : bool;
-  mutable mirror : float array option;
+  mutable mirror : Words.t option;
   mutable mirror_pending : int;
 }
 
@@ -63,11 +63,11 @@ let data_exn e =
   | None -> invalid_arg (Printf.sprintf "Page_table.data_exn: page %d not cached" e.page)
 
 let attach_copy t e =
-  let data = Array.make (Layout.page_words t.layout) 0. in
+  let data = Words.make (Layout.page_words t.layout) in
   e.data <- Some data;
   data
 
-let make_twin e = e.twin <- Some (Array.copy (data_exn e))
+let make_twin e = e.twin <- Some (Words.copy (data_exn e))
 
 let drop_twin e = e.twin <- None
 

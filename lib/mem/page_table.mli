@@ -8,11 +8,11 @@ type protection = No_access | Read_only | Read_write
 
 type entry = {
   page : int;
-  mutable data : float array option;  (** Local copy; [None] = not cached. *)
+  mutable data : Words.t option;  (** Local copy; [None] = not cached. *)
   mutable prot : protection;
-  mutable twin : float array option;
+  mutable twin : Words.t option;
   mutable dirty : bool;  (** Written during the current interval. *)
-  mutable mirror : float array option;
+  mutable mirror : Words.t option;
       (** Write-through target: stores to this page are replicated into this
           array as they happen (the automatic-update hardware of AURC). *)
   mutable mirror_pending : int;
@@ -45,10 +45,10 @@ val cached_pages : t -> entry list
 
 (** [data_exn e] returns the local copy of [e].
     @raise Invalid_argument if the page is not cached. *)
-val data_exn : entry -> float array
+val data_exn : entry -> Words.t
 
 (** Allocate and attach a zero-filled local copy. *)
-val attach_copy : t -> entry -> float array
+val attach_copy : t -> entry -> Words.t
 
 (** Make a twin (clean copy) of the current data. *)
 val make_twin : entry -> unit

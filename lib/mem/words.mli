@@ -1,0 +1,42 @@
+(** Page word storage: a flat [float64] Bigarray.
+
+    Page data, twins and mirrors used to be [float array]; the Bigarray
+    representation keeps the same unboxed flat layout but lets the hot
+    access paths ([Svm.Api.read]/[write], {!Diff.create}) compile to direct
+    loads and stores with no per-word boxing, and its contents are ignored
+    by the OCaml GC (no scan cost for hundreds of megabytes of simulated
+    memory at Full scale).
+
+    [get]/[set] are bounds-checked; the [unsafe_] variants are not and are
+    reserved for loops whose index range is already validated against
+    {!length}. *)
+
+type t = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(** Zero-filled. *)
+val make : int -> t
+
+external length : t -> int = "%caml_ba_dim_1"
+
+external get : t -> int -> float = "%caml_ba_ref_1"
+
+external set : t -> int -> float -> unit = "%caml_ba_set_1"
+
+external unsafe_get : t -> int -> float = "%caml_ba_unsafe_ref_1"
+
+external unsafe_set : t -> int -> float -> unit = "%caml_ba_unsafe_set_1"
+
+val fill : t -> float -> unit
+
+(** [blit ~src ~dst] copies [src] into [dst]; lengths must match. *)
+val blit : src:t -> dst:t -> unit
+
+val copy : t -> t
+
+val of_array : float array -> t
+
+val to_array : t -> float array
+
+val iter : (float -> unit) -> t -> unit
+
+val iteri : (int -> float -> unit) -> t -> unit

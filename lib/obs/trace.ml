@@ -13,6 +13,7 @@ let bucket_name = function
 type kind =
   | Page_fetch of { page : int; home : int }
   | Page_fetch_pending of { page : int }
+  | Batch_fetch of { page : int; home : int; pages : int }
   | Full_page_fetch of { page : int; source : int }
   | Diff_request of { page : int; writer : int; intervals : int }
   | Diff_create of { page : int; words : int; bytes : int }
@@ -48,6 +49,7 @@ type event = { time : float; node : int; kind : kind }
 let kind_name = function
   | Page_fetch _ -> "page_fetch"
   | Page_fetch_pending _ -> "page_fetch_pending"
+  | Batch_fetch _ -> "batch_fetch"
   | Full_page_fetch _ -> "full_page_fetch"
   | Diff_request _ -> "diff_request"
   | Diff_create _ -> "diff_create"
@@ -81,6 +83,8 @@ let kind_name = function
 let kind_fields = function
   | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
   | Page_fetch_pending { page } -> [ ("page", Json.Int page) ]
+  | Batch_fetch { page; home; pages } ->
+      [ ("page", Json.Int page); ("home", Json.Int home); ("pages", Json.Int pages) ]
   | Full_page_fetch { page; source } -> [ ("page", Json.Int page); ("source", Json.Int source) ]
   | Diff_request { page; writer; intervals } ->
       [ ("page", Json.Int page); ("writer", Json.Int writer); ("intervals", Json.Int intervals) ]
@@ -157,6 +161,8 @@ let render = function
       Some (Printf.sprintf "page fault: fetch page %d from home %d" page home)
   | Page_fetch_pending { page } ->
       Some (Printf.sprintf "fetch of page %d pending (flush behind)" page)
+  | Batch_fetch { page; home; pages } ->
+      Some (Printf.sprintf "batched fetch: %d pages from %d at home %d" pages page home)
   | Full_page_fetch { page; source } ->
       Some (Printf.sprintf "full-page fetch: page %d from node %d" page source)
   | Diff_request { page; writer; intervals } ->

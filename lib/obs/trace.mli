@@ -28,6 +28,9 @@ val bucket_name : wait_bucket -> string
 type kind =
   | Page_fetch of { page : int; home : int }  (** Home-based fetch request. *)
   | Page_fetch_pending of { page : int }  (** Home defers a fetch: flush behind. *)
+  | Batch_fetch of { page : int; home : int; pages : int }
+      (** Batched fault handling ([--fault-batch] > 1): [pages] adjacent
+          invalid pages starting at [page] pulled in one round trip. *)
   | Full_page_fetch of { page : int; source : int }  (** Homeless base-copy fetch. *)
   | Diff_request of { page : int; writer : int; intervals : int }
   | Diff_create of { page : int; words : int; bytes : int }

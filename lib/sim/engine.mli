@@ -7,7 +7,10 @@
 
 type t
 
-val create : unit -> t
+(** [create ?capacity ()] sizes the event set for roughly [capacity]
+    concurrently pending events when the caller can predict it (the
+    simulator pends a handful of events per node). *)
+val create : ?capacity:int -> unit -> t
 
 (** Current simulated time: the timestamp of the event being executed, or the
     last executed event when idle. Starts at [0.]. *)

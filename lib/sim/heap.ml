@@ -10,9 +10,13 @@ type 'a t = {
   mutable data : 'a entry array;
   mutable size : int;
   mutable next_seq : int;
+  hint : int;
 }
 
-let create () = { data = [||]; size = 0; next_seq = 0 }
+(* [capacity] presizes the backing array lazily: the first [grow] jumps
+   straight to the hint instead of doubling from 16, so heaps with a
+   predictable population never re-grow in a tight loop. *)
+let create ?(capacity = 0) () = { data = [||]; size = 0; next_seq = 0; hint = max 0 capacity }
 
 let length h = h.size
 
@@ -23,7 +27,7 @@ let less a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
 let grow h entry =
   let capacity = Array.length h.data in
   if h.size = capacity then begin
-    let capacity' = max 16 (2 * capacity) in
+    let capacity' = max h.hint (max 16 (2 * capacity)) in
     let data' = Array.make capacity' entry in
     Array.blit h.data 0 data' 0 h.size;
     h.data <- data'

@@ -6,7 +6,9 @@
 
 type 'a t
 
-val create : unit -> 'a t
+(** [create ?capacity ()] presizes for [capacity] entries, for callers
+    that know the event population up front. *)
+val create : ?capacity:int -> unit -> 'a t
 
 val length : 'a t -> int
 

@@ -51,7 +51,7 @@ let test_checker_detects_divergence () =
     let data = Mem.Page_table.attach_copy node.Svm.System.pt entry in
     entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
     ignore (Svm.System.page_info sys node 0);
-    data.(3) <- v
+    Mem.Words.set data 3 v
   in
   plant n0 1.0;
   plant n1 2.0;

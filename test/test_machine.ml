@@ -48,18 +48,18 @@ let test_node_advance () =
   let n = Machine.Node.create 3 in
   Machine.Node.advance n 10.;
   Machine.Node.advance n 5.;
-  check close "clock accumulates" 15. n.Machine.Node.clock;
+  check close "clock accumulates" 15. n.Machine.Node.ck.Machine.Node.clock;
   Machine.Node.sync_to n 12.;
-  check close "sync_to never rewinds" 15. n.Machine.Node.clock;
+  check close "sync_to never rewinds" 15. n.Machine.Node.ck.Machine.Node.clock;
   Machine.Node.sync_to n 20.;
-  check close "sync_to advances" 20. n.Machine.Node.clock
+  check close "sync_to advances" 20. n.Machine.Node.ck.Machine.Node.clock
 
 let test_node_interrupt_service () =
   let n = Machine.Node.create 0 in
   Machine.Node.advance n 100.;
   let done_t = Machine.Node.interrupt_service n ~interrupt:690. ~arrival:40. ~cost:10. in
   check close "reply timed from arrival" 740. done_t;
-  check close "overhead charged to the node" 800. n.Machine.Node.clock;
+  check close "overhead charged to the node" 800. n.Machine.Node.ck.Machine.Node.clock;
   check Alcotest.int "interrupt counted" 1 n.Machine.Node.interrupts
 
 let test_node_coproc_fifo () =
@@ -69,7 +69,7 @@ let test_node_coproc_fifo () =
   let t2 = Machine.Node.coproc_service n ~dispatch:5. ~arrival:50. ~cost:100. in
   check close "first" 105. t1;
   check close "second queues behind first" 210. t2;
-  check close "compute clock untouched" 0. n.Machine.Node.clock;
+  check close "compute clock untouched" 0. n.Machine.Node.ck.Machine.Node.clock;
   (* A request arriving after the co-processor went idle starts immediately. *)
   let t3 = Machine.Node.coproc_service n ~dispatch:5. ~arrival:1000. ~cost:10. in
   check close "idle start" 1015. t3

@@ -40,38 +40,39 @@ let prop_layout_roundtrip =
 (* ------------------------------------------------------------------ *)
 (* Diff *)
 
-let mk_page f = Array.init 64 f
+let mk_page f = Mem.Words.of_array (Array.init 64 f)
 
 let test_diff_roundtrip () =
   let twin = mk_page float_of_int in
-  let current = Array.copy twin in
-  current.(3) <- 99.;
-  current.(17) <- -1.;
+  let current = Mem.Words.copy twin in
+  Mem.Words.set current 3 99.;
+  Mem.Words.set current 17 (-1.);
   let d = Mem.Diff.create ~page:0 ~twin ~current in
   check Alcotest.int "two words changed" 2 (Mem.Diff.word_count d);
-  let target = Array.copy twin in
+  let target = Mem.Words.copy twin in
   Mem.Diff.apply d target;
-  check Alcotest.bool "apply reproduces current" true (target = current)
+  check Alcotest.bool "apply reproduces current" true
+    (Mem.Words.to_array target = Mem.Words.to_array current)
 
 let test_diff_empty () =
   let twin = mk_page float_of_int in
-  let d = Mem.Diff.create ~page:0 ~twin ~current:(Array.copy twin) in
+  let d = Mem.Diff.create ~page:0 ~twin ~current:(Mem.Words.copy twin) in
   check Alcotest.bool "empty" true (Mem.Diff.is_empty d);
   check Alcotest.int "size is header only" 16 (Mem.Diff.size_bytes d)
 
 let test_diff_bitwise_semantics () =
   (* Writing the same bit pattern is not a change; 0.0 vs -0.0 is. *)
-  let twin = Array.make 4 0.0 in
-  let current = Array.copy twin in
-  current.(0) <- 0.0;
-  current.(1) <- -0.0;
+  let twin = Mem.Words.make 4 in
+  let current = Mem.Words.copy twin in
+  Mem.Words.set current 0 0.0;
+  Mem.Words.set current 1 (-0.0);
   let d = Mem.Diff.create ~page:0 ~twin ~current in
   check Alcotest.int "only -0.0 differs" 1 (Mem.Diff.word_count d)
 
 let test_diff_length_mismatch () =
   Alcotest.check_raises "length mismatch"
     (Invalid_argument "Diff.create: twin and current differ in length") (fun () ->
-      ignore (Mem.Diff.create ~page:0 ~twin:(Array.make 3 0.) ~current:(Array.make 4 0.)))
+      ignore (Mem.Diff.create ~page:0 ~twin:(Mem.Words.make 3) ~current:(Mem.Words.make 4)))
 
 let test_diff_merge_pages_mismatch () =
   let twin = mk_page float_of_int in
@@ -85,44 +86,154 @@ let diff_gen =
   QCheck.Gen.(
     list_size (int_bound 20) (pair (int_bound 63) (float_range (-100.) 100.)))
 
+let apply_writes base writes =
+  let c = Mem.Words.copy base in
+  List.iter (fun (i, v) -> Mem.Words.set c i v) writes;
+  c
+
 let prop_diff_apply_equals_writes =
   QCheck.Test.make ~name:"diff apply == replaying the writes" ~count:300
     (QCheck.make diff_gen) (fun writes ->
       let twin = mk_page float_of_int in
-      let current = Array.copy twin in
-      List.iter (fun (i, v) -> current.(i) <- v) writes;
+      let current = apply_writes twin writes in
       let d = Mem.Diff.create ~page:0 ~twin ~current in
-      let target = Array.copy twin in
+      let target = Mem.Words.copy twin in
       Mem.Diff.apply d target;
-      target = current)
+      Mem.Words.to_array target = Mem.Words.to_array current)
 
 let prop_diff_merge_equivalent =
   QCheck.Test.make ~name:"merge a b == apply a then b" ~count:300
     (QCheck.make (QCheck.Gen.pair diff_gen diff_gen)) (fun (w1, w2) ->
       let base = mk_page float_of_int in
-      let c1 = Array.copy base in
-      List.iter (fun (i, v) -> c1.(i) <- v) w1;
+      let c1 = apply_writes base w1 in
       let d1 = Mem.Diff.create ~page:0 ~twin:base ~current:c1 in
-      let c2 = Array.copy c1 in
-      List.iter (fun (i, v) -> c2.(i) <- v) w2;
+      let c2 = apply_writes c1 w2 in
       let d2 = Mem.Diff.create ~page:0 ~twin:c1 ~current:c2 in
       let merged = Mem.Diff.merge d1 d2 in
-      let via_merge = Array.copy base in
+      let via_merge = Mem.Words.copy base in
       Mem.Diff.apply merged via_merge;
-      let via_seq = Array.copy base in
+      let via_seq = Mem.Words.copy base in
       Mem.Diff.apply d1 via_seq;
       Mem.Diff.apply d2 via_seq;
-      via_merge = via_seq)
+      Mem.Words.to_array via_merge = Mem.Words.to_array via_seq)
 
 let prop_diff_offsets_sorted =
   QCheck.Test.make ~name:"diff offsets strictly increasing" ~count:300
     (QCheck.make diff_gen) (fun writes ->
       let twin = mk_page float_of_int in
-      let current = Array.copy twin in
-      List.iter (fun (i, v) -> current.(i) <- v) writes;
+      let current = apply_writes twin writes in
       let d = Mem.Diff.create ~page:0 ~twin ~current in
-      let offsets = Array.to_list (Array.map fst d.Mem.Diff.words) in
+      let offsets = Array.to_list d.Mem.Diff.offsets in
       List.sort_uniq compare offsets = offsets)
+
+(* ------------------------------------------------------------------ *)
+(* Old-vs-new diff equivalence.
+
+   The Bigarray rewrite must be observationally identical to the original
+   float-array implementation. [Ref] below *is* that implementation
+   (boxed (offset, value) pairs, Int64 bit comparison, list-building
+   create, two-pointer merge), preserved as an executable specification;
+   the properties drive both over pages that include the nasty float
+   cases — +0.0 / -0.0, NaN (bit-compared), infinities — and require the
+   same entries, the same wire size and the same merge-wins semantics. *)
+
+module Ref = struct
+  type t = { page : int; words : (int * float) array }
+
+  let same_bits a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+  let create ~page ~twin ~current =
+    let changed = ref [] in
+    for i = Array.length current - 1 downto 0 do
+      if not (same_bits twin.(i) current.(i)) then changed := (i, current.(i)) :: !changed
+    done;
+    { page; words = Array.of_list !changed }
+
+  let apply t data = Array.iter (fun (o, v) -> data.(o) <- v) t.words
+
+  let size_bytes t = 16 + (12 * Array.length t.words)
+
+  let merge older newer =
+    let na = Array.length older.words and nb = Array.length newer.words in
+    let acc = ref [] in
+    let i = ref 0 and j = ref 0 in
+    while !i < na || !j < nb do
+      if !i >= na then begin
+        acc := newer.words.(!j) :: !acc;
+        incr j
+      end
+      else if !j >= nb then begin
+        acc := older.words.(!i) :: !acc;
+        incr i
+      end
+      else
+        let oa, _ = older.words.(!i) and ob, _ = newer.words.(!j) in
+        if oa < ob then begin
+          acc := older.words.(!i) :: !acc;
+          incr i
+        end
+        else if ob < oa then begin
+          acc := newer.words.(!j) :: !acc;
+          incr j
+        end
+        else begin
+          acc := newer.words.(!j) :: !acc;
+          incr i;
+          incr j
+        end
+    done;
+    { page = older.page; words = Array.of_list (List.rev !acc) }
+end
+
+(* Entries as (offset, bits) lists: NaN-safe structural comparison. *)
+let entries_new d =
+  let acc = ref [] in
+  Mem.Diff.iter (fun o v -> acc := (o, Int64.bits_of_float v) :: !acc) d;
+  List.rev !acc
+
+let entries_ref (d : Ref.t) =
+  Array.to_list (Array.map (fun (o, v) -> (o, Int64.bits_of_float v)) d.Ref.words)
+
+(* Word values stressing bit-equality: zeros of both signs, NaN,
+   infinities, plus ordinary magnitudes. *)
+let word_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, oneofl [ 0.0; -0.0; Float.nan; Float.infinity; Float.neg_infinity; 1.0 ]);
+        (5, float_range (-100.) 100.);
+      ])
+
+let page_gen n = QCheck.Gen.(array_size (return n) word_gen)
+
+let pair_gen n = QCheck.Gen.pair (page_gen n) (page_gen n)
+
+let prop_diff_matches_reference =
+  QCheck.Test.make ~name:"bigarray diff == array-backed reference" ~count:500
+    (QCheck.make (pair_gen 32)) (fun (a, b) ->
+      let d_new = Mem.Diff.create ~page:7 ~twin:(Mem.Words.of_array a) ~current:(Mem.Words.of_array b) in
+      let d_ref = Ref.create ~page:7 ~twin:a ~current:b in
+      entries_new d_new = entries_ref d_ref
+      && Mem.Diff.size_bytes d_new = Ref.size_bytes d_ref
+      &&
+      (* applying both to a third page gives bit-identical results *)
+      let base = Array.map (fun v -> v +. 0.5) a in
+      let t_new = Mem.Words.of_array base in
+      Mem.Diff.apply d_new t_new;
+      let t_ref = Array.copy base in
+      Ref.apply d_ref t_ref;
+      Array.to_list (Array.map Int64.bits_of_float (Mem.Words.to_array t_new))
+      = Array.to_list (Array.map Int64.bits_of_float t_ref))
+
+let prop_diff_merge_matches_reference =
+  QCheck.Test.make ~name:"bigarray merge == array-backed reference merge" ~count:500
+    (QCheck.make QCheck.Gen.(triple (page_gen 32) (page_gen 32) (page_gen 32)))
+    (fun (base, c1, c2) ->
+      let d1_new = Mem.Diff.create ~page:3 ~twin:(Mem.Words.of_array base) ~current:(Mem.Words.of_array c1) in
+      let d2_new = Mem.Diff.create ~page:3 ~twin:(Mem.Words.of_array c1) ~current:(Mem.Words.of_array c2) in
+      let d1_ref = Ref.create ~page:3 ~twin:base ~current:c1 in
+      let d2_ref = Ref.create ~page:3 ~twin:c1 ~current:c2 in
+      entries_new (Mem.Diff.merge d1_new d2_new) = entries_ref (Ref.merge d1_ref d2_ref))
 
 (* ------------------------------------------------------------------ *)
 (* Page table *)
@@ -148,11 +259,11 @@ let test_page_table_twin () =
   let pt = Mem.Page_table.create l in
   let e = Mem.Page_table.ensure pt 0 in
   let data = Mem.Page_table.attach_copy pt e in
-  data.(0) <- 7.;
+  Mem.Words.set data 0 7.;
   Mem.Page_table.make_twin e;
-  data.(0) <- 8.;
+  Mem.Words.set data 0 8.;
   (match e.Mem.Page_table.twin with
-  | Some t -> check (Alcotest.float 0.) "twin keeps old value" 7. t.(0)
+  | Some t -> check (Alcotest.float 0.) "twin keeps old value" 7. (Mem.Words.get t 0)
   | None -> Alcotest.fail "twin missing");
   Mem.Page_table.drop_twin e;
   check Alcotest.bool "twin dropped" true (e.Mem.Page_table.twin = None)
@@ -197,6 +308,8 @@ let suite =
     QCheck_alcotest.to_alcotest prop_diff_apply_equals_writes;
     QCheck_alcotest.to_alcotest prop_diff_merge_equivalent;
     QCheck_alcotest.to_alcotest prop_diff_offsets_sorted;
+    QCheck_alcotest.to_alcotest prop_diff_matches_reference;
+    QCheck_alcotest.to_alcotest prop_diff_merge_matches_reference;
     ("page table ensure", `Quick, test_page_table_ensure);
     ("page table missing entry", `Quick, test_page_table_entry_missing);
     ("page table twin", `Quick, test_page_table_twin);

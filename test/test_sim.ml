@@ -116,6 +116,124 @@ let prop_heap_stable_sort =
       List.rev !out = expected)
 
 (* ------------------------------------------------------------------ *)
+(* Calendar queue — the engine's event set. Mirrors the heap properties
+   (same ordering contract), plus a direct drain-equivalence check against
+   the heap and adversarial key distributions that force the queue through
+   its resize, sparse-tail and single-window code paths. *)
+
+let test_cqueue_ordering () =
+  let q = Sim.Cqueue.create () in
+  List.iter (fun (k, v) -> Sim.Cqueue.push q ~key:k v) [ (3., "c"); (1., "a"); (2., "b") ];
+  check Alcotest.(pair (float 0.) string) "min" (1., "a") (Sim.Cqueue.pop_min q);
+  check Alcotest.(pair (float 0.) string) "next" (2., "b") (Sim.Cqueue.pop_min q);
+  check Alcotest.(pair (float 0.) string) "last" (3., "c") (Sim.Cqueue.pop_min q);
+  check Alcotest.bool "empty" true (Sim.Cqueue.is_empty q)
+
+let test_cqueue_fifo_ties () =
+  let q = Sim.Cqueue.create () in
+  List.iter (fun v -> Sim.Cqueue.push q ~key:5. v) [ 1; 2; 3; 4 ];
+  let order = List.init 4 (fun _ -> snd (Sim.Cqueue.pop_min q)) in
+  check Alcotest.(list int) "insertion order on equal keys" [ 1; 2; 3; 4 ] order
+
+let test_cqueue_empty_pop () =
+  let q : int Sim.Cqueue.t = Sim.Cqueue.create () in
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Sim.Cqueue.pop_min: queue is empty")
+    (fun () -> ignore (Sim.Cqueue.pop_min q));
+  Alcotest.check_raises "peek empty"
+    (Invalid_argument "Sim.Cqueue.peek_min: queue is empty")
+    (fun () -> ignore (Sim.Cqueue.peek_min q))
+
+let test_cqueue_peek_and_clear () =
+  let q = Sim.Cqueue.create () in
+  Sim.Cqueue.push q ~key:2. "x";
+  Sim.Cqueue.push q ~key:1. "y";
+  check Alcotest.(pair (float 0.) string) "peek" (1., "y") (Sim.Cqueue.peek_min q);
+  check Alcotest.int "peek does not remove" 2 (Sim.Cqueue.length q);
+  Sim.Cqueue.clear q;
+  check Alcotest.bool "cleared" true (Sim.Cqueue.is_empty q)
+
+(* Same space-leak guarantee as the heap: a popped entry's payload must not
+   stay reachable from the queue's pooled slots. *)
+let test_cqueue_releases_payloads () =
+  let q : string Sim.Cqueue.t = Sim.Cqueue.create () in
+  let live = Weak.create 20 in
+  for i = 0 to 19 do
+    let payload = String.init 8 (fun j -> Char.chr (65 + ((i + j) mod 26))) in
+    Weak.set live i (Some payload);
+    Sim.Cqueue.push q ~key:(float_of_int (i mod 5)) payload
+  done;
+  for _ = 1 to 10 do
+    ignore (Sim.Cqueue.pop_min q)
+  done;
+  Gc.full_major ();
+  let alive = ref 0 in
+  for i = 0 to 19 do
+    if Weak.check live i then incr alive
+  done;
+  check Alcotest.int "unpopped payloads still in the queue" 10
+    (Sim.Cqueue.length (Sys.opaque_identity q));
+  check Alcotest.int "only unpopped payloads stay reachable" 10 !alive
+
+(* Key distributions that exercise every structural regime: dense clusters
+   (ties, one window), wide spans (sparse tail, direct-search fallback),
+   and enough volume to cross grow/shrink thresholds. *)
+let cqueue_keys_gen =
+  QCheck.(
+    list_of_size Gen.(int_bound 300)
+      (oneof
+         [
+           float_bound_inclusive 10.;
+           float_bound_inclusive 1000.;
+           map (fun i -> float_of_int i *. 1e6) (int_bound 50);
+           always 42.;
+         ]))
+
+let prop_cqueue_stable_sort =
+  QCheck.Test.make ~name:"cqueue drain is the stable sort by key" ~count:300
+    cqueue_keys_gen
+    (fun keys ->
+      let q = Sim.Cqueue.create () in
+      List.iteri (fun i k -> Sim.Cqueue.push q ~key:k (k, i)) keys;
+      let out = ref [] in
+      while not (Sim.Cqueue.is_empty q) do
+        out := snd (Sim.Cqueue.pop_min q) :: !out
+      done;
+      let expected =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare (a : float) b)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      List.rev !out = expected)
+
+(* The engine contract, stated directly: the calendar queue and the heap
+   drain any push sequence identically — keys AND payloads, including
+   interleaved pops (the engine pops between pushes, so mid-stream state
+   must agree too, not just a final drain). *)
+let prop_cqueue_matches_heap =
+  QCheck.Test.make ~name:"cqueue and heap agree under interleaved push/pop"
+    ~count:300
+    QCheck.(pair (list (pair (int_bound 10) bool)) cqueue_keys_gen)
+    (fun (ops, extra) ->
+      let keys = List.map (fun (k, pop) -> (float_of_int k, pop)) ops @ List.map (fun k -> (k, false)) extra in
+      let q = Sim.Cqueue.create () in
+      let h = Sim.Heap.create () in
+      let i = ref 0 in
+      let agree = ref true in
+      List.iter
+        (fun (k, pop) ->
+          Sim.Cqueue.push q ~key:k !i;
+          Sim.Heap.push h ~key:k !i;
+          incr i;
+          if pop && not (Sim.Cqueue.is_empty q) then
+            if Sim.Cqueue.pop_min q <> Sim.Heap.pop_min h then agree := false)
+        keys;
+      while !agree && not (Sim.Cqueue.is_empty q) do
+        if Sim.Cqueue.pop_min q <> Sim.Heap.pop_min h then agree := false
+      done;
+      !agree && Sim.Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
 (* RNG *)
 
 let test_rng_deterministic () =
@@ -231,6 +349,13 @@ let suite =
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     QCheck_alcotest.to_alcotest prop_heap_conserves;
     QCheck_alcotest.to_alcotest prop_heap_stable_sort;
+    ("cqueue ordering", `Quick, test_cqueue_ordering);
+    ("cqueue fifo ties", `Quick, test_cqueue_fifo_ties);
+    ("cqueue empty pop", `Quick, test_cqueue_empty_pop);
+    ("cqueue peek and clear", `Quick, test_cqueue_peek_and_clear);
+    ("cqueue releases payloads", `Quick, test_cqueue_releases_payloads);
+    QCheck_alcotest.to_alcotest prop_cqueue_stable_sort;
+    QCheck_alcotest.to_alcotest prop_cqueue_matches_heap;
     ("rng deterministic", `Quick, test_rng_deterministic);
     ("rng seed sensitivity", `Quick, test_rng_seed_sensitivity);
     ("rng split independent", `Quick, test_rng_split_independent);
