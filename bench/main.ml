@@ -11,7 +11,7 @@
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
    ablation-locks ablation-migration ablation-fault-batch chaos-soak
-   profile perf micro all
+   kill-soak availability profile perf micro all
 
    Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
    --fault-seed apply one chaos plan to every simulated cell (chaos-soak
@@ -33,7 +33,7 @@ let known_artifacts =
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3"; "figure4";
     "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
     "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "ablation-fault-batch"; "chaos-soak";
-    "profile"; "perf"; "micro"; "all";
+    "kill-soak"; "availability"; "profile"; "perf"; "micro"; "all";
   ]
 
 type options = {
@@ -353,6 +353,11 @@ let () =
                 output_char oc '\n'))
     | "chaos-soak" ->
         if not (Harness.Soak.report ppf ~pool ~scale:o.scale ()) then incr failures
+    | "kill-soak" ->
+        if not (Harness.Soak.kill_report ppf ~pool ~scale:o.scale ()) then incr failures
+    | "availability" ->
+        if not (Harness.Soak.availability_report ppf ~pool ~scale:o.scale ()) then
+          incr failures
     | "profile" ->
         Harness.Profile.report ppf ~pool ~verify:o.verify ~chaos:o.chaos
           ~trace_cap:o.trace_cap ~scale:o.scale ~node_counts:o.nodes ()

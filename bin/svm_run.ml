@@ -11,7 +11,8 @@ let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
     json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
-    fault_seed fault_batch =
+    fault_seed fault_batch kill_node kill_at detect_delay pause_node pause_at resume_at
+    replicas repl_scheme_name =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -38,13 +39,34 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
           (Printf.sprintf "unknown application %S (%s)" app_name
              (String.concat "|" Apps.Registry.names))
   in
-  let chaos = { Machine.Chaos.drop_rate; dup_rate; jitter; straggler; fault_seed } in
+  let repl_scheme =
+    match Svm.Config.repl_scheme_of_string repl_scheme_name with
+    | Some s -> s
+    | None ->
+        failwith
+          (Printf.sprintf "unknown replication scheme %S (%s)" repl_scheme_name
+             (String.concat "|" Svm.Config.repl_scheme_strings))
+  in
+  let kill = Option.map (fun node -> (node, kill_at)) kill_node in
+  let pause = Option.map (fun node -> (node, pause_at, resume_at)) pause_node in
+  let chaos =
+    {
+      Machine.Chaos.drop_rate;
+      dup_rate;
+      jitter;
+      straggler;
+      fault_seed;
+      kill;
+      pause;
+      detect_delay;
+    }
+  in
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error msg -> failwith msg);
   let cfg =
     Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos
-      ~trace_cap ~trace_spans:profile ~fault_batch protocol
+      ~trace_cap ~trace_spans:profile ~fault_batch ~replicas ~repl_scheme protocol
   in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
@@ -89,6 +111,38 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
       (sum (fun c -> c.Svm.Stats.msg_acks))
       (sum (fun c -> c.Svm.Stats.msg_dup_dropped));
     Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest
+  end;
+  (match kill with
+  | None -> ()
+  | Some (victim, at) ->
+      let sum field =
+        Array.fold_left
+          (fun acc n -> acc + field n.Svm.Runtime.nr_counters)
+          0 r.Svm.Runtime.r_nodes
+      in
+      let stalls = r.Svm.Runtime.r_failover_stalls in
+      Format.printf
+        "failover    : node %d killed at %.0f us; %d page(s) failed over, %d message(s) to \
+         dead peers@."
+        victim at
+        (sum (fun c -> c.Svm.Stats.failovers))
+        (sum (fun c -> c.Svm.Stats.msg_peer_dead));
+      if stalls <> [] then
+        Format.printf "recovery    : %d re-routed fetch(es), max stall %.0f us@."
+          (List.length stalls)
+          (List.fold_left Float.max 0. stalls);
+      Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest);
+  if replicas > 1 then begin
+    let sum field =
+      Array.fold_left
+        (fun acc n -> acc + field n.Svm.Runtime.nr_counters)
+        0 r.Svm.Runtime.r_nodes
+    in
+    Format.printf "replication : %d replicas (%s): %d updates, %d invals, %.2f MB@." replicas
+      (Svm.Config.repl_scheme_name repl_scheme)
+      (sum (fun c -> c.Svm.Stats.repl_updates))
+      (sum (fun c -> c.Svm.Stats.repl_invals))
+      (float_of_int (sum (fun c -> c.Svm.Stats.repl_bytes)) /. 1048576.0)
   end;
   if verify then Format.printf "verification: passed (results match the sequential reference)@.";
   (match (critical_path, sink) with
@@ -209,11 +263,60 @@ let fault_batch_arg =
   in
   Arg.(value & opt int 1 & info [ "fault-batch" ] ~docv:"N" ~doc)
 
+let kill_node_arg =
+  let doc =
+    "Chaos: crash-stop node $(docv) at --kill-at (links fall silent; with --replicas > 1 \
+     its homed pages fail over to the next live replica). Node 0 (the lock/barrier \
+     manager) cannot be killed."
+  in
+  Arg.(value & opt (some int) None & info [ "kill-node" ] ~docv:"NODE" ~doc)
+
+let kill_at_arg =
+  let doc = "Simulated time (microseconds) at which --kill-node fires." in
+  Arg.(value & opt float 0.0 & info [ "kill-at" ] ~docv:"US" ~doc)
+
+let detect_delay_arg =
+  let doc =
+    "Failure-detector delay in microseconds: failover runs this long after the kill."
+  in
+  Arg.(value & opt float 500.0 & info [ "detect-delay" ] ~docv:"US" ~doc)
+
+let pause_node_arg =
+  let doc =
+    "Chaos (gray failure): pause node $(docv) between --pause-at and --resume-at — it \
+     stops executing but is not declared dead."
+  in
+  Arg.(value & opt (some int) None & info [ "pause" ] ~docv:"NODE" ~doc)
+
+let pause_at_arg =
+  let doc = "Simulated time (microseconds) at which --pause fires." in
+  Arg.(value & opt float 0.0 & info [ "pause-at" ] ~docv:"US" ~doc)
+
+let resume_at_arg =
+  let doc = "Simulated time (microseconds) at which the paused node resumes." in
+  Arg.(value & opt float 0.0 & info [ "resume-at" ] ~docv:"US" ~doc)
+
+let replicas_arg =
+  let doc =
+    "Replication degree: each page keeps $(docv) replicas (the home plus the next \
+     $(docv)-1 node ids). 1 (the default) disables replication and is byte-identical to \
+     an unreplicated run."
+  in
+  Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"K" ~doc)
+
+let repl_scheme_arg =
+  let doc =
+    "Replication scheme: inval (header-only invalidations; recovery pulls retained diffs \
+     back from live writers) or backup (primary streams every applied diff to the \
+     backups)."
+  in
+  Arg.(value & opt string "inval" & info [ "repl-scheme" ] ~docv:"SCHEME" ~doc)
+
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
-let run_safe a b c d e g h i j k l m n o p q s t u v w =
-  try run a b c d e g h i j k l m n o p q s t u v w with
+let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 =
+  try run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
       exit 2
@@ -229,6 +332,8 @@ let cmd =
       const run_safe $ app_arg $ proto_arg $ nodes_arg $ scale_arg $ verify_arg $ trace_arg
       $ seed_arg $ breakdown_arg $ migrate_arg $ coproc_locks_arg $ json_arg $ trace_out_arg
       $ trace_format_arg $ trace_cap_arg $ profile_arg $ drop_rate_arg $ dup_rate_arg
-      $ jitter_arg $ straggler_arg $ fault_seed_arg $ fault_batch_arg)
+      $ jitter_arg $ straggler_arg $ fault_seed_arg $ fault_batch_arg $ kill_node_arg
+      $ kill_at_arg $ detect_delay_arg $ pause_node_arg $ pause_at_arg $ resume_at_arg
+      $ replicas_arg $ repl_scheme_arg)
 
 let () = exit (Cmd.eval cmd)

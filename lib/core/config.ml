@@ -42,6 +42,18 @@ let home_policy_name = function
   | Block -> "block"
   | Allocator -> "allocator"
 
+type repl_scheme = Inval | Backup
+
+let repl_scheme_name = function Inval -> "inval" | Backup -> "backup"
+
+let repl_scheme_strings = List.map repl_scheme_name [ Inval; Backup ]
+
+let repl_scheme_of_string s =
+  match String.lowercase_ascii s with
+  | "inval" -> Some Inval
+  | "backup" -> Some Backup
+  | _ -> None
+
 type t = {
   nprocs : int;
   protocol : protocol;
@@ -58,6 +70,8 @@ type t = {
   trace_cap : int;
   trace_spans : bool;
   fault_batch : int;
+  replicas : int;
+  repl_scheme : repl_scheme;
 }
 
 let chaos_enabled t = Machine.Chaos.enabled t.chaos
@@ -68,7 +82,8 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(home_policy = Round_robin) ?(gc_threshold_bytes = 2 * 1024 * 1024)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
     ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none)
-    ?(trace_cap = 1_000_000) ?(trace_spans = false) ?(fault_batch = 1) ~nprocs protocol =
+    ?(trace_cap = 1_000_000) ?(trace_spans = false) ?(fault_batch = 1) ?(replicas = 1)
+    ?(repl_scheme = Inval) ~nprocs protocol =
   if nprocs <= 0 then
     invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
   if not (power_of_two page_words) then
@@ -92,6 +107,35 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error e -> invalid_arg ("Config.make: " ^ e));
+  if replicas < 1 then
+    invalid_arg (Printf.sprintf "Config.make: replicas must be at least 1 (got %d)" replicas);
+  if replicas > nprocs then
+    invalid_arg
+      (Printf.sprintf "Config.make: replicas must not exceed nprocs (got %d > %d)" replicas
+         nprocs);
+  if replicas > 1 && (protocol = Aurc || protocol = Rc) then
+    invalid_arg
+      (Printf.sprintf
+         "Config.make: home replication is not supported for %s (write-through masters \
+          have no single update stream to replicate)"
+         (protocol_name protocol));
+  if replicas > 1 && home_migration then
+    invalid_arg
+      "Config.make: home replication and home migration are mutually exclusive (both \
+       rewrite the home directory)";
+  (match chaos.Machine.Chaos.kill with
+  | Some (node, _) when node >= nprocs ->
+      invalid_arg
+        (Printf.sprintf "Config.make: kill node %d out of range (nprocs %d)" node nprocs)
+  | Some (0, _) ->
+      invalid_arg
+        "Config.make: node 0 is the lock/barrier manager and cannot be killed"
+  | _ -> ());
+  (match chaos.Machine.Chaos.pause with
+  | Some (node, _, _) when node >= nprocs ->
+      invalid_arg
+        (Printf.sprintf "Config.make: pause node %d out of range (nprocs %d)" node nprocs)
+  | _ -> ());
   {
     nprocs;
     protocol;
@@ -108,4 +152,6 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     trace_cap;
     trace_spans;
     fault_batch;
+    replicas;
+    repl_scheme;
   }

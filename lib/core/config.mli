@@ -51,6 +51,23 @@ type home_policy = Round_robin | Block | Allocator
     ["allocator"]), as serialized in JSON reports. *)
 val home_policy_name : home_policy -> string
 
+(** How a page's primary keeps its backups consistent ([replicas] > 1).
+    [Inval]: the primary sends small invalidation records; backups hold no
+    current data and recovery pulls the retained diffs back from the live
+    writers (cheap steady state, slower failover). [Backup]: the primary
+    streams every applied diff to the backups, which maintain a warm full
+    copy (more steady-state traffic, near-instant promotion). *)
+type repl_scheme = Inval | Backup
+
+(** Stable name of the scheme (["inval"] | ["backup"]), as accepted on the
+    command line and serialized in reports. *)
+val repl_scheme_name : repl_scheme -> string
+
+(** The command-line spellings {!repl_scheme_of_string} accepts. *)
+val repl_scheme_strings : string list
+
+val repl_scheme_of_string : string -> repl_scheme option
+
 type t = {
   nprocs : int;
   protocol : protocol;
@@ -99,6 +116,18 @@ type t = {
           trip serving the faulting page. 1 (the default) keeps today's
           one-page-per-fault behavior byte-identical; the flag only changes
           simulated outcomes when > 1. *)
+  replicas : int;
+      (** Degree of each page's home replica set ([--replicas K]): the
+          original home plus [K - 1] backups at the next node ids (mod
+          nprocs), in rank order. 1 (the default) keeps today's
+          single-home behavior byte-identical; with K >= 2 a page
+          survives the crash of its home — the failure detector promotes
+          the next live rank. Home-based protocols replicate the master
+          copy per [repl_scheme]; homeless protocols archive every
+          writer's streamed diffs at the replica members (both schemes
+          behave identically there). *)
+  repl_scheme : repl_scheme;
+      (** Backup-consistency scheme, meaningful when [replicas] > 1. *)
 }
 
 (** Whether this configuration injects any faults (see
@@ -108,8 +137,11 @@ val chaos_enabled : t -> bool
 (** Raises [Invalid_argument] with a descriptive message when a knob is out
     of range: [nprocs], [gc_threshold_bytes], [au_combine_words] or
     [trace_cap] non-positive, [page_words] not a positive power of two,
-    [fault_batch] < 1, or an invalid chaos plan (rates outside [0, 1],
-    negative jitter, straggler < 1). *)
+    [fault_batch] < 1, an invalid chaos plan (rates outside [0, 1],
+    negative jitter, straggler < 1, malformed kill/pause schedule, or a
+    kill/pause node out of range — killing node 0, the lock/barrier
+    manager, is rejected), [replicas] outside [1, nprocs], or [replicas]
+    > 1 combined with AURC/RC or with [home_migration]. *)
 val make :
   ?page_words:int ->
   ?costs:Machine.Costs.t ->
@@ -124,6 +156,8 @@ val make :
   ?trace_cap:int ->
   ?trace_spans:bool ->
   ?fault_batch:int ->
+  ?replicas:int ->
+  ?repl_scheme:repl_scheme ->
   nprocs:int ->
   protocol ->
   t

@@ -103,6 +103,9 @@ let rec fetch_from_home sys node page ~on_valid =
   let home = home_of sys page in
   let home_node = sys.nodes.(home) in
   let needed = Proto.Vclock.copy pi.needed in
+  (* Replies belonging to a superseded fetch generation (the fetch was
+     re-issued by a failover) discard themselves on arrival. *)
+  let gen = node.fetch_gen in
   node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
   let request_bytes = header_bytes + Proto.Vclock.size_bytes needed in
   event sys node (Obs.Trace.Page_fetch { page; home });
@@ -127,19 +130,21 @@ let rec fetch_from_home sys node page ~on_valid =
         in
         send sys ~src:home_node ~dst:node.id ~at:done_t ~bytes
           ~update:(Mem.Layout.page_bytes sys.layout) (fun reply_at ->
-            Machine.Node.sync_to node.mach reply_at;
-            (* The node may have flushed its own writes mid-fault (a remote
-               lock request ended its interval); if the snapshot predates
-               them, retry so they are not lost. *)
-            if not (Proto.Vclock.leq pi.needed flush) then
-              fetch_from_home sys node page ~on_valid
-            else begin
-              let entry = Mem.Page_table.ensure node.pt page in
-              install_home_copy ~write_through:(aurc sys) entry snapshot;
-              entry.Mem.Page_table.prot <-
-                (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
-                 else Mem.Page_table.Read_only);
-              on_valid ()
+            if node.fetch_gen = gen then begin
+              Machine.Node.sync_to node.mach reply_at;
+              (* The node may have flushed its own writes mid-fault (a remote
+                 lock request ended its interval); if the snapshot predates
+                 them, retry so they are not lost. *)
+              if not (Proto.Vclock.leq pi.needed flush) then
+                fetch_from_home sys node page ~on_valid
+              else begin
+                let entry = Mem.Page_table.ensure node.pt page in
+                install_home_copy ~write_through:(aurc sys) entry snapshot;
+                entry.Mem.Page_table.prot <-
+                  (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
+                   else Mem.Page_table.Read_only);
+                on_valid ()
+              end
             end)
       in
       let hp = home_page sys home_node page in
@@ -187,6 +192,7 @@ let fetch_batch_from_home sys node page ~extras ~on_valid =
   let home = home_of sys page in
   let home_node = sys.nodes.(home) in
   let needed = Proto.Vclock.copy pi.needed in
+  let gen = node.fetch_gen in
   let extra_needed =
     List.map (fun q -> (q, Proto.Vclock.copy (page_info sys node q).needed)) extras
   in
@@ -236,6 +242,8 @@ let fetch_batch_from_home sys node page ~extras ~on_valid =
           ~bytes:(header_bytes + (pages * pb) + vclock_bytes)
           ~update:(pages * pb)
           (fun reply_at ->
+            if node.fetch_gen <> gen then ()
+            else begin
             Machine.Node.sync_to node.mach reply_at;
             (* Install prefetched extras first; each re-checks that the
                snapshot still covers the page's (possibly grown) needs and
@@ -263,6 +271,7 @@ let fetch_batch_from_home sys node page ~extras ~on_valid =
                 (if entry.Mem.Page_table.dirty then Mem.Page_table.Read_write
                  else Mem.Page_table.Read_only);
               on_valid ()
+            end
             end)
       in
       let hp = home_page sys home_node page in
@@ -301,6 +310,7 @@ let collect_diffs sys node page ~on_valid =
   let wanted = still_missing pi in
   if wanted = [] then finish_homeless_validation node pi entry ~on_valid
   else begin
+    let gen = node.fetch_gen in
     let by_writer = Hashtbl.create 8 in
     List.iter
       (fun (iv : Proto.Interval.t) ->
@@ -331,41 +341,109 @@ let collect_diffs sys node page ~on_valid =
         ordered;
       finish_homeless_validation node pi entry ~on_valid
     in
+    let reply_handler writer diffs payload reply_at =
+      if node.fetch_gen = gen then begin
+        Machine.Node.sync_to node.mach reply_at;
+        List.iter (fun (idx, diff) -> received := (writer, idx, diff) :: !received) diffs;
+        decr outstanding;
+        if !outstanding = 0 then complete node.mach.Machine.Node.ck.Machine.Node.clock
+      end;
+      ignore payload
+    in
     List.iter
       (fun (writer, idxs) ->
-        let writer_node = sys.nodes.(writer) in
-        let bytes = header_bytes + (8 * List.length idxs) in
-        event sys node
-          (Obs.Trace.Diff_request { page; writer; intervals = List.length idxs });
-        send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes ~update:0
-          (fun arrival ->
-            let cost = request_service_cost *. float_of_int (List.length idxs) in
-            let done_t = serve sys writer_node ~arrival ~cost in
-            let stored = try Hashtbl.find writer_node.own_diffs page with Not_found -> [] in
-            let diffs =
-              List.map
-                (fun idx ->
-                  match List.find_opt (fun (i, _, _) -> i = idx) stored with
-                  | Some (_, diff, _) -> (idx, diff)
-                  | None ->
+        if is_alive sys writer then begin
+          let writer_node = sys.nodes.(writer) in
+          let bytes = header_bytes + (8 * List.length idxs) in
+          event sys node
+            (Obs.Trace.Diff_request { page; writer; intervals = List.length idxs });
+          send sys ~src:node ~dst:writer ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes ~update:0
+            (fun arrival ->
+              let cost = request_service_cost *. float_of_int (List.length idxs) in
+              let done_t = serve sys writer_node ~arrival ~cost in
+              let stored = try Hashtbl.find writer_node.own_diffs page with Not_found -> [] in
+              let diffs =
+                List.map
+                  (fun idx ->
+                    match List.find_opt (fun (i, _, _) -> i = idx) stored with
+                    | Some (_, diff, _) -> (idx, diff)
+                    | None ->
+                        invalid_arg
+                          (Printf.sprintf
+                             "collect_diffs: writer %d lacks diff (page %d, interval %d)" writer
+                             page idx))
+                  idxs
+              in
+              let payload =
+                List.fold_left (fun acc (_, d) -> acc + Mem.Diff.size_bytes d) 0 diffs
+              in
+              if spans_on sys then
+                event_at sys ~node:writer ~time:done_t
+                  (Obs.Trace.Diff_reply { page; dst = node.id; bytes = payload });
+              send sys ~src:writer_node ~dst:node.id ~at:done_t
+                ~bytes:(header_bytes + payload) ~update:payload
+                (reply_handler writer diffs payload))
+        end
+        else
+          (* The writer crash-stopped: its retained diffs are gone with it,
+             but on replicated runs every interval-end diff was streamed to
+             the page's replica members. Pull them from the first live
+             member's archive instead. With no live member the request is
+             simply not sent — the fetch hangs and the watchdog reports the
+             unsurvivable loss. *)
+          match live_replica sys page with
+          | None -> ()
+          | Some holder ->
+              let holder_node = sys.nodes.(holder) in
+              node.stats.Stats.c.Stats.failovers <- node.stats.Stats.c.Stats.failovers + 1;
+              event sys node (Obs.Trace.Failover { page; from_ = writer; to_ = holder });
+              let bytes = header_bytes + (8 * List.length idxs) in
+              event sys node
+                (Obs.Trace.Diff_request { page; writer = holder; intervals = List.length idxs });
+              send sys ~src:node ~dst:holder ~at:node.mach.Machine.Node.ck.Machine.Node.clock
+                ~bytes ~update:0 (fun arrival ->
+                  (* The dead writer's last archive messages may still be in
+                     flight from before the crash; poll (in simulated time)
+                     until the archive holds every requested interval. *)
+                  let rec attempt tries at =
+                    let rp = replica_page sys holder_node page in
+                    let find idx =
+                      List.find_opt
+                        (fun (w, i, _, _) -> w = writer && i = idx)
+                        rp.rp_archive
+                    in
+                    if List.for_all (fun idx -> find idx <> None) idxs then begin
+                      let cost = request_service_cost *. float_of_int (List.length idxs) in
+                      let done_t = serve sys holder_node ~arrival:at ~cost in
+                      let diffs =
+                        List.map
+                          (fun idx ->
+                            match find idx with
+                            | Some (_, _, d, _) -> (idx, d)
+                            | None -> assert false)
+                          idxs
+                      in
+                      let payload =
+                        List.fold_left (fun acc (_, d) -> acc + Mem.Diff.size_bytes d) 0 diffs
+                      in
+                      if spans_on sys then
+                        event_at sys ~node:holder ~time:done_t
+                          (Obs.Trace.Diff_reply { page; dst = node.id; bytes = payload });
+                      send sys ~src:holder_node ~dst:node.id ~at:done_t
+                        ~bytes:(header_bytes + payload) ~update:payload
+                        (reply_handler writer diffs payload)
+                    end
+                    else if tries >= 1000 then
                       invalid_arg
                         (Printf.sprintf
-                           "collect_diffs: writer %d lacks diff (page %d, interval %d)" writer
-                           page idx))
-                idxs
-            in
-            let payload =
-              List.fold_left (fun acc (_, d) -> acc + Mem.Diff.size_bytes d) 0 diffs
-            in
-            if spans_on sys then
-              event_at sys ~node:writer ~time:done_t
-                (Obs.Trace.Diff_reply { page; dst = node.id; bytes = payload });
-            send sys ~src:writer_node ~dst:node.id ~at:done_t
-              ~bytes:(header_bytes + payload) ~update:payload (fun reply_at ->
-                Machine.Node.sync_to node.mach reply_at;
-                List.iter (fun (idx, diff) -> received := (writer, idx, diff) :: !received) diffs;
-                decr outstanding;
-                if !outstanding = 0 then complete node.mach.Machine.Node.ck.Machine.Node.clock)))
+                           "collect_diffs: replica %d's archive lacks diffs of dead writer \
+                            %d (page %d)"
+                           holder writer page)
+                    else
+                      Sim.Engine.schedule sys.engine ~at:(at +. 50.) (fun () ->
+                          attempt (tries + 1) (at +. 50.))
+                  in
+                  attempt 0 arrival))
       writers
   end
 
@@ -385,7 +463,35 @@ let fetch_full_page sys node page ~on_valid =
       match installed_member sys page with Some m -> m | None -> node.id
     else keeper_of sys page
   in
-  if source = node.id then begin
+  if source <> node.id && (not (is_alive sys source)) && homeless_lazy sys then begin
+    (* The copyset keeper crashed with the only known full copy. Rebuild
+       from first principles: shared pages start zeroed and every byte
+       since originates from some writer's diff, so zeros plus the page's
+       complete diff history equals the lost copy. Reset the applied cut,
+       repopulate the missing list from the retained interval records
+       (complete until a GC prunes them — the chaos schedule kills long
+       before any GC fires at these scales), and let [collect_diffs] pull
+       each diff from its writer — or, for the dead writer's own, from the
+       page's replica archive. *)
+    node.stats.Stats.c.Stats.failovers <- node.stats.Stats.c.Stats.failovers + 1;
+    event sys node (Obs.Trace.Failover { page; from_ = source; to_ = node.id });
+    ignore (Mem.Page_table.attach_copy node.pt entry);
+    Mem.Accounting.sub node.stats.Stats.proto_mem
+      (missing_entry_bytes * List.length pi.missing);
+    pi.applied <- Proto.Vclock.create ~nprocs:(nprocs sys);
+    let all =
+      Array.to_list node.known
+      |> List.concat_map
+           (List.filter (fun (iv : Proto.Interval.t) ->
+                iv.Proto.Interval.node <> node.id
+                && List.mem page iv.Proto.Interval.pages))
+    in
+    pi.missing <- all;
+    Mem.Accounting.add node.stats.Stats.proto_mem (missing_entry_bytes * List.length all);
+    reapply_own_diffs sys node pi entry;
+    collect_diffs sys node page ~on_valid
+  end
+  else if source = node.id then begin
     (* We are the allocator (or, under RC, the first toucher): materialize
        the initial zero-filled copy. *)
     ignore (Mem.Page_table.attach_copy node.pt entry);
@@ -395,6 +501,7 @@ let fetch_full_page sys node page ~on_valid =
   end
   else begin
     let source_node = sys.nodes.(source) in
+    let gen = node.fetch_gen in
     node.stats.Stats.c.Stats.page_fetches <- node.stats.Stats.c.Stats.page_fetches + 1;
     event sys node (Obs.Trace.Full_page_fetch { page; source });
     send sys ~src:node ~dst:source ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes:header_bytes
@@ -424,6 +531,8 @@ let fetch_full_page sys node page ~on_valid =
         in
         send sys ~src:source_node ~dst:node.id ~at:done_t ~bytes
           ~update:(Mem.Layout.page_bytes sys.layout) (fun reply_at ->
+            if node.fetch_gen <> gen then ()
+            else begin
             Machine.Node.sync_to node.mach reply_at;
             (match (entry.Mem.Page_table.dirty, entry.Mem.Page_table.twin) with
             | true, Some twin ->
@@ -447,7 +556,8 @@ let fetch_full_page sys node page ~on_valid =
               pi.rc_backlog <- [];
               mark_copy_installed sys node page
             end;
-            collect_diffs sys node page ~on_valid))
+            collect_diffs sys node page ~on_valid
+            end))
   end
 
 (* ------------------------------------------------------------------ *)
@@ -472,6 +582,10 @@ let make_valid sys node page ~on_valid =
         on_valid ()
       end
       else begin
+        (* This wait is local (own master catching up with in-flight
+           flushes): a failover must not re-issue it, or the park would be
+           duplicated and the process resumed twice. *)
+        node.fault_retry <- None;
         let span =
           span_begin sys ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock
             ~bucket:Obs.Trace.Wb_home ~resource:page
@@ -528,7 +642,10 @@ let make_writable sys node page =
         entry.Mem.Page_table.mirror <- Some master
       end
     end
-    else if (not at_home) && entry.Mem.Page_table.twin = None then begin
+    else if ((not at_home) || replicated sys) && entry.Mem.Page_table.twin = None then begin
+      (* At home a twin is normally pointless (the master copy IS the
+         page); with replicas the home keeps one anyway, so its own writes
+         can be diffed at interval end and streamed to the backups. *)
       Mem.Page_table.make_twin entry;
       charge_protocol node c.Machine.Costs.twin_copy;
       Mem.Accounting.add node.stats.Stats.proto_mem (Mem.Layout.page_bytes sys.layout)
@@ -547,8 +664,17 @@ let read_fault sys node page k =
   let c = costs sys in
   charge_protocol node c.Machine.Costs.page_fault;
   block sys node ~resource:page Wait_data k;
-  make_valid sys node page ~on_valid:(fun () ->
-      resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock)
+  let finish () =
+    node.fault_page <- -1;
+    node.fault_retry <- None;
+    resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock
+  in
+  (* Record how to re-issue this fault's fetch: if a failover re-homes the
+     page while the fetch is in flight at a dead node, the detector bumps
+     [fetch_gen] (discarding any stale replies) and invokes the retry. *)
+  node.fault_page <- page;
+  node.fault_retry <- Some (fun () -> make_valid sys node page ~on_valid:finish);
+  make_valid sys node page ~on_valid:finish
 
 let write_fault sys node page k =
   let c = costs sys in
@@ -556,10 +682,17 @@ let write_fault sys node page k =
   node.stats.Stats.c.Stats.write_faults <- node.stats.Stats.c.Stats.write_faults + 1;
   block sys node ~resource:page Wait_data k;
   let entry = Mem.Page_table.ensure node.pt page in
-  if entry.Mem.Page_table.prot = Mem.Page_table.No_access then
-    make_valid sys node page ~on_valid:(fun () ->
-        make_writable sys node page;
-        resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock)
+  if entry.Mem.Page_table.prot = Mem.Page_table.No_access then begin
+    let finish () =
+      node.fault_page <- -1;
+      node.fault_retry <- None;
+      make_writable sys node page;
+      resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock
+    in
+    node.fault_page <- page;
+    node.fault_retry <- Some (fun () -> make_valid sys node page ~on_valid:finish);
+    make_valid sys node page ~on_valid:finish
+  end
   else begin
     make_writable sys node page;
     resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock

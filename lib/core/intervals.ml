@@ -50,29 +50,53 @@ let deliver_rc_update sys member ~arrival ~writer ~page diff =
   send sys ~src:member ~dst:writer ~at:done_t ~bytes:header_bytes ~update:0 (fun ack_at ->
       rc_ack_arrived sys sys.nodes.(writer) ~at:ack_at)
 
-(* A diff flushed by [writer] (interval [index]) arrives at the home. *)
+(* A diff flushed by [writer] (interval [index]) arrives at the home. On
+   replicated runs the same path also absorbs the post-failover re-flush of
+   retained diffs, so the apply is made idempotent: a diff at or below the
+   master's per-writer flush level is already reflected and skipped. On
+   the per-(writer, home) FIFO channel indices arrive strictly ascending,
+   so at [replicas] = 1 the guard never fires and the path is unchanged. *)
 let deliver_flush sys home_node ~arrival ~writer ~index ~page diff =
   let c = costs sys in
   let done_t = serve sys home_node ~arrival ~cost:(diff_apply_cost c diff) in
+  match Hashtbl.find_opt sys.recovering page with
+  | Some rc ->
+      (* The home is mid-failover-recovery: applying into the master now
+         would be clobbered when the reconstructed copy is installed, so
+         stash the flush; [Replica] replays it (in arrival order, which is
+         sound — commits racing recovery cannot be causally ordered among
+         themselves, since a later same-word writer's fetch is parked until
+         recovery completes) after the causally-sorted pull. *)
+      rc.System.rc_live <- (writer, index, diff) :: rc.System.rc_live;
+      event sys home_node
+        (Obs.Trace.Diff_flush { page; writer; index; bytes = Mem.Diff.size_bytes diff })
+  | None ->
   let entry = Mem.Page_table.ensure home_node.pt page in
-  let data =
-    match entry.Mem.Page_table.data with
-    | Some d -> d
-    | None ->
-        (* First update to a page the home itself never touched: materialize
-           the master copy (shared memory is zero-initialized). *)
-        let d = Mem.Page_table.attach_copy home_node.pt entry in
-        entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
-        d
-  in
-  Mem.Diff.apply diff data;
-  (* The home may concurrently be writing disjoint words of the same page;
-     updating its twin keeps its own next diff minimal and correct. *)
-  (match entry.Mem.Page_table.twin with Some t -> Mem.Diff.apply diff t | None -> ());
-  home_node.stats.Stats.c.Stats.diffs_applied <-
-    home_node.stats.Stats.c.Stats.diffs_applied + 1;
   let hp = home_page sys home_node page in
-  if index > Proto.Vclock.get hp.hp_flush writer then Proto.Vclock.set hp.hp_flush writer index;
+  let fresh = index > Proto.Vclock.get hp.hp_flush writer in
+  if fresh || not (replicated sys) then begin
+    let data =
+      match entry.Mem.Page_table.data with
+      | Some d -> d
+      | None ->
+          (* First update to a page the home itself never touched: materialize
+             the master copy (shared memory is zero-initialized). *)
+          let d = Mem.Page_table.attach_copy home_node.pt entry in
+          entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
+          d
+    in
+    Mem.Diff.apply diff data;
+    (* The home may concurrently be writing disjoint words of the same page;
+       updating its twin keeps its own next diff minimal and correct. *)
+    (match entry.Mem.Page_table.twin with Some t -> Mem.Diff.apply diff t | None -> ());
+    home_node.stats.Stats.c.Stats.diffs_applied <-
+      home_node.stats.Stats.c.Stats.diffs_applied + 1
+  end;
+  if fresh then begin
+    Proto.Vclock.set hp.hp_flush writer index;
+    propagate_update sys home_node ~page ~writer ~index ~diff ~vt:None ~at:done_t
+      ~payload:false
+  end;
   serve_pending_fetches hp ~at:done_t;
   event sys home_node
     (Obs.Trace.Diff_flush { page; writer; index; bytes = Mem.Diff.size_bytes diff })
@@ -193,8 +217,29 @@ let end_interval sys node =
             Proto.Vclock.set pi.needed node.id index;
             if home = node.id then begin
               (* Home effect: the master copy already holds the writes; no
-                 twin, no diff, no message (paper §4.4). *)
+                 twin, no diff, no message (paper §4.4). With replicas the
+                 home keeps a twin after all (see [Faults.make_writable]):
+                 its own writes must reach the backups as a payload diff
+                 under either scheme — a dead primary's writes have no
+                 surviving writer to re-flush them. *)
               let hp = home_page sys node page in
+              (if replicated sys then
+                 match entry.Mem.Page_table.twin with
+                 | Some twin ->
+                     let diff =
+                       Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry)
+                     in
+                     node.stats.Stats.c.Stats.diffs_created <-
+                       node.stats.Stats.c.Stats.diffs_created + 1;
+                     event sys node (Mem.Diff.created_event diff);
+                     let done_t =
+                       local_protocol_work sys node ~cost:(diff_create_cost c ~page_words)
+                     in
+                     Mem.Page_table.drop_twin entry;
+                     Mem.Accounting.sub node.stats.Stats.proto_mem page_bytes;
+                     propagate_update sys node ~page ~writer:node.id ~index ~diff
+                       ~vt:(Some (Proto.Vclock.copy node.vt)) ~at:done_t ~payload:true
+                 | None -> ());
               Proto.Vclock.set hp.hp_flush node.id index;
               finish_page entry;
               serve_pending_fetches hp ~at:node.mach.Machine.Node.ck.Machine.Node.clock
@@ -216,10 +261,20 @@ let end_interval sys node =
               in
               Mem.Page_table.drop_twin entry;
               Mem.Accounting.sub node.stats.Stats.proto_mem page_bytes;
-              (* Diffs are transient in home-based protocols: record the blip
-                 for peak-memory accounting, then release. *)
               Mem.Accounting.add node.stats.Stats.proto_mem (Mem.Diff.size_bytes diff);
-              Mem.Accounting.sub node.stats.Stats.proto_mem (Mem.Diff.size_bytes diff);
+              if replicated sys then begin
+                (* Replicated runs retain the flushed diff (an LRC-like
+                   memory profile, the honest price of recoverability): if
+                   the home dies, the promoted backup pulls every retained
+                   diff back to rebuild the lost flush state. *)
+                let prev = try Hashtbl.find node.own_diffs page with Not_found -> [] in
+                Hashtbl.replace node.own_diffs page
+                  ((index, diff, Proto.Vclock.copy node.vt) :: prev)
+              end
+              else
+                (* Diffs are transient in home-based protocols: the add/sub
+                   pair above records the blip for peak-memory accounting. *)
+                Mem.Accounting.sub node.stats.Stats.proto_mem (Mem.Diff.size_bytes diff);
               finish_page entry;
               let bytes = header_bytes + Mem.Diff.size_bytes diff in
               send sys ~src:node ~dst:home ~at:done_t ~bytes ~update:(Mem.Diff.size_bytes diff)
@@ -248,6 +303,13 @@ let end_interval sys node =
             let prev = try Hashtbl.find node.own_diffs page with Not_found -> [] in
             Hashtbl.replace node.own_diffs page ((index, diff, vt) :: prev);
             Proto.Vclock.set pi.applied node.id index;
+            (* Replicated homeless runs stream the retained diff to the
+               page's replica members, which archive it: a dead writer's
+               diffs are then served from the archive, and a dead keeper's
+               full page rebuilt from zeros plus the archive. *)
+            if replicated sys then
+              propagate_archive sys node ~page ~index ~diff ~vt
+                ~at:node.mach.Machine.Node.ck.Machine.Node.clock;
             finish_page entry
           end)
         pages

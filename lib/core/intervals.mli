@@ -25,6 +25,22 @@ val diff_apply_cost : Machine.Costs.t -> Mem.Diff.t -> float
     them; [at] is when the enabling update finished applying. *)
 val serve_pending_fetches : System.home_page -> at:float -> unit
 
+(** A diff flushed by [writer] (interval [index]) arrives at the home at
+    [arrival]: apply it to the master copy, raise the per-writer flush
+    level, propagate to the page's backups, and serve any fetch the new
+    level enables. Idempotent on replicated runs (a diff at or below the
+    flush level is skipped); during a failover recovery of [page] the
+    flush is stashed for replay instead (see [Replica]). *)
+val deliver_flush :
+  System.t ->
+  System.node_state ->
+  arrival:float ->
+  writer:int ->
+  index:int ->
+  page:int ->
+  Mem.Diff.t ->
+  unit
+
 (** End the node's current interval, if it wrote anything: commit its dirty
     pages per the configured protocol (see above), write-protect them and
     advance the node's vector time. *)

@@ -25,7 +25,12 @@ exception Violation of string
 let page_currents sys page =
   Array.fold_left
     (fun acc (node : node_state) ->
-      if page >= Array.length node.pinfo then acc
+      if not (is_alive sys node.id) then
+        (* A crash-stopped node's copies are unreachable and may be stale
+           mid-write: they are outside the coherence obligation (and the
+           final-memory digest, which must match the fault-free run's). *)
+        acc
+      else if page >= Array.length node.pinfo then acc
       else
         match node.pinfo.(page) with
         | None -> acc

@@ -1,0 +1,22 @@
+(** Deterministic failover of replicated homes after a node kill.
+
+    Invoked once per kill by the failure detector ({!Runtime} schedules it
+    at the kill time plus {!Machine.Chaos.params.detect_delay}). For every
+    page homed at the dead node with a replica set ([Config.replicas] > 1),
+    the next live node in rank order becomes primary and rebuilds the
+    master copy — from its warm copy plus pulled retained diffs under the
+    primary-backup scheme, or from zeros plus the causally-ordered union of
+    the dead primary's archived payload diffs and every live writer's
+    retained diffs under the invalidation scheme. In-flight fetches of
+    every live process are then re-issued against a bumped fetch
+    generation, so stale replies discard themselves and the retry routes to
+    the post-failover home (homeless protocols only need this step; their
+    dead-node recovery lives on the fetch path in [Faults]).
+
+    Recovery traffic is charged to the timing model and counted in the
+    replication counters; each promotion increments the new primary's
+    [failovers] counter and emits {!Obs.Trace.Failover}. *)
+
+(** [failover sys ~dead ~at] runs the failure detector's response to the
+    crash of [dead], at detection time [at]. *)
+val failover : System.t -> dead:int -> at:float -> unit

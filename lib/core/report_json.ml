@@ -32,13 +32,26 @@ let costs_json (c : Machine.Costs.t) =
 
 let chaos_json (ch : Machine.Chaos.params) =
   Obj
-    [
-      ("drop_rate", f ch.drop_rate);
-      ("dup_rate", f ch.dup_rate);
-      ("jitter", f ch.jitter);
-      ("straggler", f ch.straggler);
-      ("fault_seed", Int ch.fault_seed);
-    ]
+    ([
+       ("drop_rate", f ch.drop_rate);
+       ("dup_rate", f ch.dup_rate);
+       ("jitter", f ch.jitter);
+       ("straggler", f ch.straggler);
+       ("fault_seed", Int ch.fault_seed);
+     ]
+    @ (match ch.kill with
+      | None -> []
+      | Some (node, at) ->
+          [
+            ("kill_node", Int node);
+            ("kill_at", f at);
+            ("detect_delay", f ch.detect_delay);
+          ])
+    @
+    match ch.pause with
+    | None -> []
+    | Some (node, pause_at, resume_at) ->
+        [ ("pause_node", Int node); ("pause_at", f pause_at); ("resume_at", f resume_at) ])
 
 let config_json (cfg : Config.t) =
   Obj
@@ -55,7 +68,22 @@ let config_json (cfg : Config.t) =
        ("costs", costs_json cfg.costs);
      ]
     @ (if cfg.fault_batch > 1 then [ ("fault_batch", Int cfg.fault_batch) ] else [])
-    @ if Config.chaos_enabled cfg then [ ("chaos", chaos_json cfg.chaos) ] else [])
+    @ (if cfg.replicas > 1 then
+         [
+           ( "replication",
+             Obj
+               [
+                 ("replicas", Int cfg.replicas);
+                 ("scheme", String (Config.repl_scheme_name cfg.repl_scheme));
+               ] );
+         ]
+       else [])
+    @
+    (* A kill-only schedule does not enable message chaos (no transport),
+       but its parameters still belong in the report. *)
+    if Config.chaos_enabled cfg || cfg.chaos.Machine.Chaos.kill <> None then
+      [ ("chaos", chaos_json cfg.chaos) ]
+    else [])
 
 let breakdown_json (b : Stats.breakdown) =
   Obj
@@ -68,7 +96,7 @@ let breakdown_json (b : Stats.breakdown) =
       ("gc", f b.gc);
     ]
 
-let counters_json ~chaos ~batching (c : Stats.counters) =
+let counters_json ~chaos ~batching ~repl ~kill (c : Stats.counters) =
   Obj
     ([
        ("read_misses", Int c.read_misses);
@@ -86,23 +114,33 @@ let counters_json ~chaos ~batching (c : Stats.counters) =
        ("home_migrations", Int c.home_migrations);
      ]
     @ (if batching then [ ("batch_prefetches", Int c.batch_prefetches) ] else [])
+    @ (if chaos then
+         [
+           ("msg_drops", Int c.msg_drops);
+           ("msg_retransmits", Int c.msg_retransmits);
+           ("msg_acks", Int c.msg_acks);
+           ("msg_dup_dropped", Int c.msg_dup_dropped);
+         ]
+       else [])
+    @ (if repl then
+         [
+           ("repl_updates", Int c.repl_updates);
+           ("repl_invals", Int c.repl_invals);
+           ("repl_bytes", Int c.repl_bytes);
+         ]
+       else [])
     @
-    if chaos then
-      [
-        ("msg_drops", Int c.msg_drops);
-        ("msg_retransmits", Int c.msg_retransmits);
-        ("msg_acks", Int c.msg_acks);
-        ("msg_dup_dropped", Int c.msg_dup_dropped);
-      ]
+    if kill then
+      [ ("failovers", Int c.failovers); ("msg_peer_dead", Int c.msg_peer_dead) ]
     else [])
 
-let node_json ~chaos ~batching (n : Runtime.node_report) =
+let node_json ~chaos ~batching ~repl ~kill (n : Runtime.node_report) =
   Obj
     [
       ("id", Int n.nr_id);
       ("elapsed_us", f n.nr_elapsed);
       ("breakdown", breakdown_json n.nr_breakdown);
-      ("counters", counters_json ~chaos ~batching n.nr_counters);
+      ("counters", counters_json ~chaos ~batching ~repl ~kill n.nr_counters);
       ("mem_peak", Int n.nr_mem_peak);
       ("mem_end", Int n.nr_mem_end);
       ("epochs", List (List.map breakdown_json n.nr_epochs));
@@ -117,6 +155,47 @@ let sum_counter (r : Runtime.report) field =
 let encode ?critical_path ?trace (r : Runtime.report) =
   let chaos = Config.chaos_enabled r.r_config in
   let batching = r.r_config.Config.fault_batch > 1 in
+  let repl = r.r_config.Config.replicas > 1 in
+  let kill = r.r_config.Config.chaos.Machine.Chaos.kill <> None in
+  let repl_totals =
+    if not repl then []
+    else
+      [
+        ( "replication",
+          Obj
+            [
+              ("repl_updates", Int (sum_counter r (fun c -> c.Stats.repl_updates)));
+              ("repl_invals", Int (sum_counter r (fun c -> c.Stats.repl_invals)));
+              ("repl_bytes", Int (sum_counter r (fun c -> c.Stats.repl_bytes)));
+            ] )
+      ]
+  in
+  let availability_totals =
+    if not kill then []
+    else begin
+      (* [r_failover_stalls] is sorted ascending; the nearest-rank p99. *)
+      let stalls = Array.of_list r.r_failover_stalls in
+      let n = Array.length stalls in
+      let total = Array.fold_left ( +. ) 0. stalls in
+      let pct p =
+        if n = 0 then 0.
+        else stalls.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+      in
+      [
+        ( "availability",
+          Obj
+            [
+              ("failovers", Int (sum_counter r (fun c -> c.Stats.failovers)));
+              ("msg_peer_dead", Int (sum_counter r (fun c -> c.Stats.msg_peer_dead)));
+              ("recovery_stalls", Int n);
+              ("stall_mean_us", f (if n = 0 then 0. else total /. float_of_int n));
+              ("stall_p99_us", f (pct 0.99));
+              ("stall_max_us", f (if n = 0 then 0. else stalls.(n - 1)));
+              ("mem_digest", String (Printf.sprintf "%016Lx" r.r_mem_digest));
+            ] )
+      ]
+    end
+  in
   let chaos_totals =
     if not chaos then []
     else
@@ -152,8 +231,9 @@ let encode ?critical_path ?trace (r : Runtime.report) =
              ("mem_peak", Int (Runtime.max_mem_peak r));
              ("mean_compute_us", f (Runtime.mean_compute r));
            ]
-          @ chaos_totals) );
-      ("nodes", List (Array.to_list (Array.map (node_json ~chaos ~batching) r.r_nodes)));
+          @ repl_totals @ availability_totals @ chaos_totals) );
+      ( "nodes",
+        List (Array.to_list (Array.map (node_json ~chaos ~batching ~repl ~kill) r.r_nodes)) );
     ]
     @ (match trace with
       | None -> []
@@ -266,6 +346,44 @@ let check_chaos_config cfg =
       let* _ = want_int "config.chaos" ch "fault_seed" in
       Ok ()
 
+let check_replication_config cfg =
+  match member "replication" cfg with
+  | None -> Ok ()
+  | Some rp ->
+      let* replicas = want_int "config.replication" rp "replicas" in
+      if replicas < 2 then
+        fail "config.replication.replicas: must be at least 2 (got %d)" replicas
+      else
+        let* scheme = want_string "config.replication" rp "scheme" in
+        if not (List.mem scheme Config.repl_scheme_strings) then
+          fail "config.replication.scheme: unknown scheme %S" scheme
+        else Ok ()
+
+let check_replication_totals totals =
+  match member "replication" totals with
+  | None -> Ok ()
+  | Some rp ->
+      each
+        (fun name -> Result.map ignore (want_int "totals.replication" rp name))
+        [ "repl_updates"; "repl_invals"; "repl_bytes" ]
+
+let check_availability_totals totals =
+  match member "availability" totals with
+  | None -> Ok ()
+  | Some av ->
+      let* () =
+        each
+          (fun name -> Result.map ignore (want_int "totals.availability" av name))
+          [ "failovers"; "msg_peer_dead"; "recovery_stalls" ]
+      in
+      let* () =
+        each
+          (fun name -> Result.map ignore (want_num "totals.availability" av name))
+          [ "stall_mean_us"; "stall_p99_us"; "stall_max_us" ]
+      in
+      let* _ = want_string "totals.availability" av "mem_digest" in
+      Ok ()
+
 let check_chaos_totals totals =
   match member "chaos" totals with
   | None -> Ok ()
@@ -335,6 +453,7 @@ let validate j =
         let* _ = want_int "config" cfg "seed" in
         let* _ = want_bool "config" cfg "coproc_locks" in
         let* () = check_chaos_config cfg in
+        let* () = check_replication_config cfg in
         let* _ = want_num "report" j "elapsed_us" in
         let* _ = want_int "report" j "shared_bytes" in
         let* _ = want_int "report" j "events" in
@@ -345,6 +464,8 @@ let validate j =
         let* _ = want_int "totals" totals "mem_peak" in
         let* _ = want_num "totals" totals "mean_compute_us" in
         let* () = check_chaos_totals totals in
+        let* () = check_replication_totals totals in
+        let* () = check_availability_totals totals in
         let* nodes = want_list "report" j "nodes" in
         if List.length nodes <> nprocs then
           fail "report.nodes: %d entries but config.nprocs = %d" (List.length nodes) nprocs

@@ -18,6 +18,8 @@ type report = {
   r_events : int;
   r_mem_digest : int64;
   r_transport : transport_report option;
+  r_failover_stalls : float list;
+      (* per re-routed fetch: resume time minus failover time, ascending *)
 }
 
 let start_process sys (node : System.node_state) app =
@@ -70,11 +72,38 @@ let stall_dump sys =
           | Some System.Wait_gc -> "waiting for GC"
           | None -> "not blocked (runtime bug)"
         in
+        let liveness = if System.is_alive sys n.System.id then "" else " [killed]" in
         Buffer.add_string buf
-          (Printf.sprintf "\n  node %d: %s since %.0f us" n.System.id state
+          (Printf.sprintf "\n  node %d%s: %s since %.0f us" n.System.id liveness state
              n.System.block_clock)
       end)
     sys.System.nodes;
+  (* Per stuck page: where its home is *now*, its replica ranks, and when
+     it last failed over — the triage a replicated-run deadlock needs. *)
+  let describe_page page =
+    let home = System.home_of sys page in
+    let ranks =
+      match System.replica_ranks sys page with
+      | None -> ""
+      | Some ranks ->
+          Printf.sprintf ", replicas [%s]"
+            (String.concat ";"
+               (Array.to_list
+                  (Array.map
+                     (fun r ->
+                       Printf.sprintf "%d%s" r
+                         (if System.is_alive sys r then "" else " dead"))
+                     ranks)))
+    in
+    let last =
+      match Hashtbl.find_opt sys.System.failover_at page with
+      | None -> ""
+      | Some t -> Printf.sprintf ", failed over at %.0f us" t
+    in
+    Printf.sprintf "home %d%s%s%s" home
+      (if System.is_alive sys home then "" else " (dead)")
+      ranks last
+  in
   Array.iter
     (fun (n : System.node_state) ->
       let pending =
@@ -88,10 +117,18 @@ let stall_dump sys =
       List.iter
         (fun (page, k) ->
           Buffer.add_string buf
-            (Printf.sprintf "\n  node %d: %d fetch(es) of page %d waiting for flushes at the home"
-               n.System.id k page))
+            (Printf.sprintf
+               "\n  node %d: %d fetch(es) of page %d waiting for flushes at the home (%s)"
+               n.System.id k page (describe_page page)))
         (List.sort compare pending))
     sys.System.nodes;
+  Hashtbl.iter
+    (fun page (rc : System.recovery) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n  page %d: failover recovery incomplete, %d writer repl(ies) outstanding (%s)"
+           page rc.System.rc_outstanding (describe_page page)))
+    sys.System.recovering;
   let locks =
     List.sort compare (Hashtbl.fold (fun l last acc -> (l, last) :: acc) sys.System.lock_last [])
   in
@@ -204,6 +241,7 @@ let collect sys =
               tr_inflight = Machine.Transport.inflight_count tr;
               tr_gave_up = Machine.Transport.gave_up_count tr;
             });
+    r_failover_stalls = List.sort compare sys.System.failover_stalls;
   }
 
 let run ?trace ?sink cfg app =
@@ -214,8 +252,26 @@ let run ?trace ?sink cfg app =
     (fun node ->
       Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))
     sys.System.nodes;
+  (* The node-fault schedule: crash-stop the victim at its kill time, and
+     fire the failure detector (deterministic failover) one detection delay
+     later. Runs with a kill but no message chaos stay on the fast send
+     path — the kill itself is not a transport concern. *)
+  (match cfg.Config.chaos.Machine.Chaos.kill with
+  | None -> ()
+  | Some (victim, kill_at) ->
+      let detect = kill_at +. cfg.Config.chaos.Machine.Chaos.detect_delay in
+      Sim.Engine.schedule sys.System.engine ~at:kill_at (fun () ->
+          System.kill_node sys ~node:victim ~time:kill_at);
+      Sim.Engine.schedule sys.System.engine ~at:detect (fun () ->
+          Replica.failover sys ~dead:victim ~at:detect));
   ignore (Sim.Engine.run sys.System.engine);
-  if sys.System.finished_count <> System.nprocs sys then begin
+  let unfinished_live =
+    Array.exists
+      (fun (n : System.node_state) ->
+        (not n.System.finished) && System.is_alive sys n.System.id)
+      sys.System.nodes
+  in
+  if unfinished_live then begin
     (* The watchdog: a quiescent engine with unfinished processes can never
        make progress again. Emit a trace event, then fail loudly with the
        full diagnosis instead of silently returning a truncated report. *)

@@ -33,6 +33,9 @@ type report = {
           The differential-soundness property: a chaos run's digest must
           equal its fault-free twin's. *)
   r_transport : transport_report option;  (** [Some] iff chaos was enabled. *)
+  r_failover_stalls : float list;
+      (** Recovery stall of each fetch re-routed by a failover (resume time
+          minus failover time), sorted ascending; empty without a kill. *)
 }
 
 (** Total computation time across nodes divided by node count: with one

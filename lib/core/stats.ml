@@ -51,6 +51,11 @@ type counters = {
   mutable msg_acks : int;
   mutable msg_dup_dropped : int;
   mutable batch_prefetches : int;
+  mutable repl_updates : int;
+  mutable repl_invals : int;
+  mutable repl_bytes : int;
+  mutable failovers : int;
+  mutable msg_peer_dead : int;
 }
 
 let counters_copy c =
@@ -73,6 +78,11 @@ let counters_copy c =
     msg_acks = c.msg_acks;
     msg_dup_dropped = c.msg_dup_dropped;
     batch_prefetches = c.batch_prefetches;
+    repl_updates = c.repl_updates;
+    repl_invals = c.repl_invals;
+    repl_bytes = c.repl_bytes;
+    failovers = c.failovers;
+    msg_peer_dead = c.msg_peer_dead;
   }
 
 let counters_sub a b =
@@ -95,6 +105,11 @@ let counters_sub a b =
     msg_acks = a.msg_acks - b.msg_acks;
     msg_dup_dropped = a.msg_dup_dropped - b.msg_dup_dropped;
     batch_prefetches = a.batch_prefetches - b.batch_prefetches;
+    repl_updates = a.repl_updates - b.repl_updates;
+    repl_invals = a.repl_invals - b.repl_invals;
+    repl_bytes = a.repl_bytes - b.repl_bytes;
+    failovers = a.failovers - b.failovers;
+    msg_peer_dead = a.msg_peer_dead - b.msg_peer_dead;
   }
 
 let counters_zero () =
@@ -117,6 +132,11 @@ let counters_zero () =
     msg_acks = 0;
     msg_dup_dropped = 0;
     batch_prefetches = 0;
+    repl_updates = 0;
+    repl_invals = 0;
+    repl_bytes = 0;
+    failovers = 0;
+    msg_peer_dead = 0;
   }
 
 type t = {

@@ -45,6 +45,16 @@ type counters = {
   mutable msg_dup_dropped : int;  (** Duplicates this node received and discarded. *)
   mutable batch_prefetches : int;
       (** Pages piggybacked on a batched fetch ([--fault-batch] > 1). *)
+  mutable repl_updates : int;
+      (** Replica updates this node sent (diff payloads streamed to
+          backups, [--repl-scheme backup], or primary-local pushes). *)
+  mutable repl_invals : int;
+      (** Invalidation records this node sent to backups
+          ([--repl-scheme inval]). *)
+  mutable repl_bytes : int;  (** Total replication payload + header bytes sent. *)
+  mutable failovers : int;  (** Pages this node was promoted to primary for. *)
+  mutable msg_peer_dead : int;
+      (** Sends/packets this node abandoned because the peer was dead. *)
 }
 
 val counters_zero : unit -> counters

@@ -207,10 +207,20 @@ let discard_interval_records node =
    decidable (testing aid; see Invariants). *)
 let note_release_applied sys =
   sys.barrier.bar_released <- sys.barrier.bar_released + 1;
-  if sys.barrier.bar_released = nprocs sys then begin
+  if sys.barrier.bar_released = sys.barrier.bar_target then begin
     sys.barrier.bar_released <- 0;
     Invariants.check sys
   end
+
+(* A barrier completes once every *live* node has arrived: a crash-stopped
+   node never will, and waiting for it would wedge the whole machine. A
+   victim that arrived before its kill stays in the queue — its reported
+   intervals are real committed history and must still be folded in. *)
+let all_live_arrived sys =
+  let bar = sys.barrier in
+  let arrived id = List.exists (fun (from, _, _) -> from = id) bar.bar_queue in
+  bar.bar_arrived > 0
+  && Array.for_all (fun (n : node_state) -> (not (is_alive sys n.id)) || arrived n.id) sys.nodes
 
 let apply_release sys node ~ivs ~max_vt ~gc ~resume_now =
   let home_waits = Intervals.apply_remote_intervals sys node ivs in
@@ -243,6 +253,12 @@ let complete_barrier sys =
   let mgr_waits = Intervals.apply_remote_intervals sys mgr all_ivs in
   List.iter (fun (_, vt, _) -> Proto.Vclock.merge_into mgr.vt vt) arrivals;
   let max_vt = Proto.Vclock.copy mgr.vt in
+  (* The release-apply rendezvous counts the manager plus the live remote
+     arrivals; a release addressed to a node that died after arriving is
+     dropped by the dead-link guard and never applied. *)
+  bar.bar_released <- 0;
+  bar.bar_target <-
+    1 + List.length (List.filter (fun (from, _, _) -> from <> 0 && is_alive sys from) arrivals);
   (* Adaptive home migration (extension): re-home drifting pages before the
      releases go out, so everyone resumes against the new directory. *)
   Migration.run sys all_ivs;
@@ -251,7 +267,7 @@ let complete_barrier sys =
   (* Releases to the other nodes, each with the records it lacks. *)
   List.iter
     (fun (from, vt, _) ->
-      if from <> 0 then begin
+      if from <> 0 && is_alive sys from then begin
         let node = sys.nodes.(from) in
         let ivs = Intervals.missing_intervals mgr vt in
         charge_protocol mgr c.Machine.Costs.barrier_service;
@@ -277,7 +293,12 @@ let arrive sys ~from ~vt ~ivs ~mem =
   bar.bar_queue <- (from, vt, ivs) :: bar.bar_queue;
   bar.bar_arrived <- bar.bar_arrived + 1;
   if mem > sys.cfg.Config.gc_threshold_bytes then bar.bar_mem_high <- true;
-  if bar.bar_arrived = nprocs sys then complete_barrier sys
+  if all_live_arrived sys then complete_barrier sys
+
+(* Failure-detector hook: a node just got declared dead. If the barrier was
+   only waiting on the victim, release it now — otherwise every live node
+   would block forever on an arrival that can no longer happen. *)
+let note_node_death sys = if all_live_arrived sys then complete_barrier sys
 
 let barrier sys node k =
   node.stats.Stats.c.Stats.barriers <- node.stats.Stats.c.Stats.barriers + 1;

@@ -28,3 +28,9 @@ val release : System.t -> System.node_state -> int -> unit
     manager's release. *)
 val barrier :
   System.t -> System.node_state -> (unit, unit) Effect.Deep.continuation -> unit
+
+(** Failure-detector hook: re-evaluate barrier completion after a node has
+    been declared dead. A barrier stalled solely on the victim's arrival
+    completes immediately (every live node has arrived); otherwise a no-op.
+    Called by [Replica.failover] at detection time. *)
+val note_node_death : System.t -> unit

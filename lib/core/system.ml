@@ -43,6 +43,23 @@ type home_page = {
 
 and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
 
+(* Backup-side state for one page this node backs up ([--replicas] > 1).
+   [rp_data]/[rp_flush] hold the warm copy and the per-writer cut applied
+   into it: complete under the primary-backup scheme (every applied diff is
+   streamed), and covering only the primary's own writes under the
+   invalidation scheme (those have no surviving writer to re-flush them
+   after a crash, so they are always pushed as payload). [rp_archive] holds
+   the diffs homeless writers stream to the page's replica members, newest
+   first; archives are never freed — that retained memory is the
+   availability price the bench artifact reports. *)
+type replica_page = {
+  rp_page : int;
+  mutable rp_data : Mem.Words.t option;
+  rp_flush : Proto.Vclock.t;
+  mutable rp_archive : (int * int * Mem.Diff.t * Proto.Vclock.t) list;
+      (* (writer, interval index, diff, writer vt at interval end) *)
+}
+
 (* Distributed-lock state at one node (token-forwarding protocol; the
    manager is [lock mod nprocs] and tracks the last requester). *)
 type lock_state = {
@@ -83,6 +100,17 @@ type node_state = {
       (* eager RC: actions (grants, barrier arrivals) deferred until the
          outstanding updates are acknowledged *)
   mutable in_gc : bool;  (* protocol work is re-billed to the GC bucket *)
+  repl : (int, replica_page) Hashtbl.t;  (* pages this node backs up *)
+  mutable fault_page : int;  (* page of the in-flight fault fetch (-1 = none) *)
+  mutable fault_retry : (unit -> unit) option;
+      (* re-issues the blocked fault's fetch; failover bumps [fetch_gen]
+         and invokes this so a fetch lost to a dead home is re-routed *)
+  mutable fetch_gen : int;
+      (* generation of the node's in-flight fault fetch; replies from a
+         superseded generation are discarded on arrival *)
+  mutable stall_mark : float;
+      (* failover time while awaiting resume (-1 = none): the next resume
+         records [clock - stall_mark] as this fetch's recovery stall *)
   mutable finished : bool;
   mutable start_clock : float;  (* timing window start (Api.start_timing) *)
   mutable start_breakdown : Stats.breakdown;
@@ -96,6 +124,21 @@ type barrier_state = {
   mutable bar_mem_high : bool;  (* some node exceeded the GC threshold *)
   mutable bar_epoch : int;
   mutable bar_released : int;  (* releases applied (paranoid-check trigger) *)
+  mutable bar_target : int;  (* release-applies expected: manager + live arrivals *)
+}
+
+(* In-progress failover recovery of one re-homed page at its new primary
+   (see [Replica]): pulled/archived diffs accumulate in [rc_pull] until the
+   last writer reply lands, while normal flushes arriving mid-recovery are
+   stashed in [rc_live] (applying them into a half-reconstructed master
+   would be lost when the rebuilt copy is installed). *)
+type recovery = {
+  mutable rc_pull : (int * int * Mem.Diff.t * Proto.Vclock.t) list;
+      (* (writer, interval index, diff, writer vt): applied in causal order *)
+  mutable rc_live : (int * int * Mem.Diff.t) list;
+      (* (writer, index, diff) flushes stashed in arrival order, newest
+         first; causally after every pulled diff that touches their words *)
+  mutable rc_outstanding : int;  (* writer replies still awaited *)
 }
 
 type t = {
@@ -136,6 +179,15 @@ type t = {
   mutable sink : Obs.Trace.sink option;  (* typed trace-event sink *)
   mutable next_span : int;  (* wait-span id allocator (causal layer) *)
   mutable finished_count : int;
+  alive : bool array;  (* false once the chaos schedule killed the node *)
+  repl_tbl : (int, int array) Hashtbl.t;
+      (* page -> replica ranks (the original home, then the next node ids
+         mod nprocs); populated by malloc only when [replicas] > 1 *)
+  mutable failover_stalls : float list;
+      (* per re-routed fetch: resume time minus failover time *)
+  failover_at : (int, float) Hashtbl.t;  (* page -> last failover time *)
+  recovering : (int, recovery) Hashtbl.t;
+      (* page -> in-progress failover recovery at the promoted primary *)
   chaos : Machine.Chaos.t option;  (* fault plan; None = fault-free run *)
   mutable transport : Machine.Transport.t option;
       (* reliable transport over the chaotic network; installed iff [chaos]
@@ -258,6 +310,15 @@ let transport_notify t ~time (n : Machine.Transport.notice) =
       if observing t then
         event_at t ~node:src ~time
           (Obs.Trace.Watchdog_stall { blocked = blocked_count t; inflight })
+  | Machine.Transport.Peer_dead { src; dst; seq; bytes } ->
+      (* Attribute the abandoned packet to the live endpoint (the one that
+         observed the crash); if both endpoints died, to the source. *)
+      let node = if t.alive.(src) || not (t.alive.(dst)) then src else dst in
+      let peer = if node = src then dst else src in
+      let c = t.nodes.(node).stats.Stats.c in
+      c.Stats.msg_peer_dead <- c.Stats.msg_peer_dead + 1;
+      if observing t then
+        event_at t ~node ~time (Obs.Trace.Msg_peer_dead { peer; seq; bytes })
 
 let create (cfg : Config.t) =
   let nprocs = cfg.Config.nprocs in
@@ -293,6 +354,11 @@ let create (cfg : Config.t) =
       rc_acks = 0;
       rc_drain = [];
       in_gc = false;
+      repl = Hashtbl.create 16;
+      fault_page = -1;
+      fault_retry = None;
+      fetch_gen = 0;
+      stall_mark = -1.;
       finished = false;
       start_clock = 0.;
       start_breakdown = Stats.breakdown_zero ();
@@ -318,7 +384,14 @@ let create (cfg : Config.t) =
     lock_last = Hashtbl.create 16;
     channels = Array.make (nprocs * nprocs) 0.;
     barrier =
-      { bar_arrived = 0; bar_queue = []; bar_mem_high = false; bar_epoch = 0; bar_released = 0 };
+      {
+        bar_arrived = 0;
+        bar_queue = [];
+        bar_mem_high = false;
+        bar_epoch = 0;
+        bar_released = 0;
+        bar_target = nprocs;
+      };
       migration_prev = Hashtbl.create 64;
       gc_nodes_done = 0;
       gc_on_done = Hashtbl.create 8;
@@ -326,6 +399,11 @@ let create (cfg : Config.t) =
       sink = None;
       next_span = 0;
       finished_count = 0;
+      alive = Array.make nprocs true;
+      repl_tbl = Hashtbl.create 16;
+      failover_stalls = [];
+      failover_at = Hashtbl.create 8;
+      recovering = Hashtbl.create 8;
       chaos;
       transport = None;
     }
@@ -474,6 +552,11 @@ let charge_gc node dt =
    never overtakes an earlier one, which the home-based protocols rely on
    (diff flush followed by lock grant to the home). *)
 let send t ~src ~dst ~at ~bytes ~update handler =
+  if not (Array.unsafe_get t.alive src.id) then
+    (* Crash-stopped sender: its links are silenced, so the message never
+       leaves the node. Local execution may continue, invisibly. *)
+    ()
+  else begin
   let c = src.stats.Stats.c in
   if src.id <> dst then begin
     c.Stats.messages <- c.Stats.messages + 1;
@@ -492,10 +575,12 @@ let send t ~src ~dst ~at ~bytes ~update handler =
         ~at:(Float.max at (now t))
         ~bytes
         (fun arrival ->
-          if observing t then
-            event_at t ~node:dst ~time:arrival
-              (Obs.Trace.Msg_recv { src = src.id; bytes; update });
-          handler arrival)
+          if Array.unsafe_get t.alive dst then begin
+            if observing t then
+              event_at t ~node:dst ~time:arrival
+                (Obs.Trace.Msg_recv { src = src.id; bytes; update });
+            handler arrival
+          end)
   | _ ->
       (* Fault-free (or loopback) fast path: exactly the pre-chaos code. *)
       let transfer = Machine.Network.transfer_time t.net ~src:src.id ~dst ~bytes in
@@ -512,10 +597,21 @@ let send t ~src ~dst ~at ~bytes ~update handler =
       in
       let arrival = Float.max arrival (now t) in
       Sim.Engine.schedule t.engine ~at:arrival (fun () ->
-          if src.id <> dst && observing t then
-            event_at t ~node:dst ~time:arrival
-              (Obs.Trace.Msg_recv { src = src.id; bytes; update });
-          handler arrival)
+          if not (Array.unsafe_get t.alive dst) then begin
+            (* Receiver crash-stopped while the message was on the wire:
+               charge the loss to the sender and drop it on the floor. *)
+            c.Stats.msg_peer_dead <- c.Stats.msg_peer_dead + 1;
+            if observing t then
+              event_at t ~node:src.id ~time:arrival
+                (Obs.Trace.Msg_peer_dead { peer = dst; seq = -1; bytes })
+          end
+          else begin
+            if src.id <> dst && observing t then
+              event_at t ~node:dst ~time:arrival
+                (Obs.Trace.Msg_recv { src = src.id; bytes; update });
+            handler arrival
+          end)
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Request service                                                    *)
@@ -579,6 +675,11 @@ let block t node ?(resource = 0) kind k =
    the bucket matching the block kind, and the continuation is re-entered
    through the engine so handler stacks unwind. *)
 let resume t node ~at =
+  if not (Array.unsafe_get t.alive node.id) then
+    (* A crash-stopped node never runs again; late wakeups (e.g. a barrier
+       release already in flight when the kill fired) are dropped. *)
+    ()
+  else
   match (node.cont, node.blocked) with
   | Some k, Some kind ->
       node.cont <- None;
@@ -596,6 +697,14 @@ let resume t node ~at =
       span_end t ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span:node.wait_span
         ~bucket:(bucket_of_kind kind) ~resource:node.wait_resource;
       node.wait_span <- -1;
+      if node.stall_mark >= 0. then begin
+        (* This wait crossed a failover: the time since the failover fired
+           is the recovery stall this fetch actually suffered. *)
+        t.failover_stalls <-
+          Float.max 0. (node.mach.Machine.Node.ck.Machine.Node.clock -. node.stall_mark)
+          :: t.failover_stalls;
+        node.stall_mark <- -1.
+      end;
       let at' = Float.max (now t) node.mach.Machine.Node.ck.Machine.Node.clock in
       Sim.Engine.schedule t.engine ~at:at' (fun () -> Effect.Deep.continue k ())
   | _ -> invalid_arg "System.resume: node is not blocked"
@@ -660,7 +769,14 @@ let malloc t node ?name ?home_map ?(scratch = false) words =
           | Config.Block -> min (nprocs t - 1) (i * nprocs t / npages)
           | Config.Allocator -> node.id)
     in
-    Hashtbl.replace t.home_tbl page (home mod nprocs t)
+    Hashtbl.replace t.home_tbl page (home mod nprocs t);
+    if t.cfg.Config.replicas > 1 then begin
+      (* Rank-ordered replica set: the home, then the next node ids. The
+         failure detector promotes the first live rank on a crash. *)
+      let h = home mod nprocs t and np = nprocs t in
+      Hashtbl.replace t.repl_tbl page
+        (Array.init t.cfg.Config.replicas (fun j -> (h + j) mod np))
+    end
   done;
   t.next_addr <- base + words;
   (match name with Some n -> Hashtbl.replace t.roots n base | None -> ());
@@ -674,6 +790,189 @@ let root t name =
   | None -> invalid_arg (Printf.sprintf "System.root: no allocation named %S" name)
 
 let shared_bytes t = t.next_addr * Mem.Layout.word_bytes
+
+(* ------------------------------------------------------------------ *)
+(* Home replication and node liveness ([--replicas K], chaos kills)   *)
+
+let replicated t = t.cfg.Config.replicas > 1
+
+let is_alive t node = Array.unsafe_get t.alive node
+
+let replica_ranks t page = Hashtbl.find_opt t.repl_tbl page
+
+(* First live member of [page]'s replica set, if any: the promotion target
+   of a home-based failover, and the node homeless protocols route around
+   a dead writer/keeper through. *)
+let live_replica t page =
+  match replica_ranks t page with
+  | None -> None
+  | Some ranks ->
+      let n = Array.length ranks in
+      let rec go i =
+        if i >= n then None
+        else if Array.unsafe_get t.alive ranks.(i) then Some ranks.(i)
+        else go (i + 1)
+      in
+      go 0
+
+(* Lazily created backup-side state for one replicated page at [node]. *)
+let replica_page t node page =
+  match Hashtbl.find_opt node.repl page with
+  | Some rp -> rp
+  | None ->
+      let rp =
+        {
+          rp_page = page;
+          rp_data = None;
+          rp_flush = Proto.Vclock.create ~nprocs:(nprocs t);
+          rp_archive = [];
+        }
+      in
+      Hashtbl.replace node.repl page rp;
+      Mem.Accounting.add node.stats.Stats.proto_mem (Proto.Vclock.size_bytes rp.rp_flush);
+      rp
+
+(* Crash-stop [node] at [time]: all its links fall silent — outbound sends
+   are discarded at the source, inbound deliveries are dropped on arrival —
+   and, on chaos runs, the reliable transport cancels every packet in
+   flight on its links so no retransmission storm follows. Local (simulated)
+   execution of the victim may continue; it is invisible to the cluster. *)
+let kill_node t ~node ~time =
+  if Array.unsafe_get t.alive node then begin
+    t.alive.(node) <- false;
+    event_at t ~node ~time (Obs.Trace.Node_kill { node });
+    match t.transport with
+    | Some tr -> Machine.Transport.kill_peer tr ~peer:node ~time
+    | None -> ()
+  end
+
+let repl_diff_apply_cost t diff =
+  let c = costs t in
+  c.Machine.Costs.diff_apply_base
+  +. (float_of_int (Mem.Diff.word_count diff) *. c.Machine.Costs.diff_apply_per_word)
+
+(* Backup side of a primary-backup update: apply the streamed diff into the
+   warm copy (materialized as a zero page on first touch — every observable
+   byte of a shared page originates from a protocol write, so zeros plus
+   the applied diff stream equals the master) and advance the applied cut. *)
+let deliver_repl_update t backup ~arrival ~page ~writer ~index diff =
+  ignore (serve t backup ~arrival ~cost:(repl_diff_apply_cost t diff));
+  let rp = replica_page t backup page in
+  let data =
+    match rp.rp_data with
+    | Some d -> d
+    | None ->
+        let d = Mem.Words.make (Mem.Layout.page_words t.layout) in
+        rp.rp_data <- Some d;
+        Mem.Accounting.add backup.stats.Stats.proto_mem
+          (Mem.Layout.page_words t.layout * Mem.Layout.word_bytes);
+        d
+  in
+  Mem.Diff.apply diff data;
+  if index > Proto.Vclock.get rp.rp_flush writer then
+    Proto.Vclock.set rp.rp_flush writer index
+
+(* Keep [page]'s backups consistent after the primary applied a diff.
+   [payload] forces a full-diff push regardless of scheme: the primary's
+   own writes have no surviving writer to re-flush them after a crash, so
+   both schemes stream those. Otherwise the scheme decides: [Backup]
+   streams the diff, [Inval] sends a header-only invalidation record
+   (recovery pulls the retained diffs back from the live writers).
+
+   Under [Backup] the streamed diff is applied into the warm copy: the
+   primary->backup channel is FIFO and the primary's own apply order is
+   causally gated, so arrival order at the backup is sound. Under [Inval]
+   a payload push (the primary's own diff, [vt] = its timestamp) is
+   archived instead — the warm copy would otherwise hold values causally
+   later than the diffs recovery pulls back, and applying those pulled
+   diffs over it would resurrect stale words. Recovery rebuilds from zeros
+   plus the causally-sorted union of archive and pulled diffs.
+
+   All traffic is protocol overhead, charged to the timing model and
+   counted in the replication counters. *)
+let propagate_update t prim ~page ~writer ~index ~diff ~vt ~at ~payload =
+  match replica_ranks t page with
+  | None -> ()
+  | Some ranks ->
+      let scheme = t.cfg.Config.repl_scheme in
+      let full = payload || scheme = Config.Backup in
+      let c = prim.stats.Stats.c in
+      Array.iter
+        (fun r ->
+          if r <> prim.id && Array.unsafe_get t.alive r then
+            if full && scheme = Config.Backup then begin
+              let bytes = header_bytes + Mem.Diff.size_bytes diff in
+              c.Stats.repl_updates <- c.Stats.repl_updates + 1;
+              c.Stats.repl_bytes <- c.Stats.repl_bytes + bytes;
+              if observing t then
+                event_at t ~node:prim.id ~time:at
+                  (Obs.Trace.Repl_update { page; dst = r; bytes });
+              send t ~src:prim ~dst:r ~at ~bytes ~update:0 (fun arrival ->
+                  deliver_repl_update t t.nodes.(r) ~arrival ~page ~writer ~index diff)
+            end
+            else if full then begin
+              (* Inval scheme, payload push: archive at the backup. *)
+              let vt =
+                match vt with
+                | Some v -> v
+                | None -> invalid_arg "propagate_update: payload push without a timestamp"
+              in
+              let bytes =
+                header_bytes + Mem.Diff.size_bytes diff + Proto.Vclock.size_bytes vt
+              in
+              c.Stats.repl_updates <- c.Stats.repl_updates + 1;
+              c.Stats.repl_bytes <- c.Stats.repl_bytes + bytes;
+              if observing t then
+                event_at t ~node:prim.id ~time:at
+                  (Obs.Trace.Repl_update { page; dst = r; bytes });
+              send t ~src:prim ~dst:r ~at ~bytes ~update:0 (fun arrival ->
+                  let backup = t.nodes.(r) in
+                  ignore (serve t backup ~arrival ~cost:2.);
+                  let rp = replica_page t backup page in
+                  rp.rp_archive <- (writer, index, diff, vt) :: rp.rp_archive;
+                  Mem.Accounting.add backup.stats.Stats.proto_mem (Mem.Diff.size_bytes diff);
+                  if index > Proto.Vclock.get rp.rp_flush writer then
+                    Proto.Vclock.set rp.rp_flush writer index)
+            end
+            else begin
+              c.Stats.repl_invals <- c.Stats.repl_invals + 1;
+              c.Stats.repl_bytes <- c.Stats.repl_bytes + header_bytes;
+              if observing t then
+                event_at t ~node:prim.id ~time:at (Obs.Trace.Repl_inval { page; dst = r });
+              send t ~src:prim ~dst:r ~at ~bytes:header_bytes ~update:0 (fun arrival ->
+                  ignore (serve t t.nodes.(r) ~arrival ~cost:2.))
+            end)
+        ranks
+
+(* Homeless replication: the writer streams each retained diff (with its
+   interval index and vector time) to the page's replica members, which
+   archive it. A dead writer's diffs are then served from the archive of
+   the first live member; a dead keeper's full page is reconstructed from
+   zeros plus the archive. Both schemes behave identically here — there is
+   no master copy to invalidate. *)
+let propagate_archive t writer ~page ~index ~diff ~vt ~at =
+  match replica_ranks t page with
+  | None -> ()
+  | Some ranks ->
+      let c = writer.stats.Stats.c in
+      Array.iter
+        (fun r ->
+          if r <> writer.id && Array.unsafe_get t.alive r then begin
+            let bytes = header_bytes + Mem.Diff.size_bytes diff in
+            c.Stats.repl_updates <- c.Stats.repl_updates + 1;
+            c.Stats.repl_bytes <- c.Stats.repl_bytes + bytes;
+            if observing t then
+              event_at t ~node:writer.id ~time:at
+                (Obs.Trace.Repl_update { page; dst = r; bytes });
+            let wid = writer.id in
+            send t ~src:writer ~dst:r ~at ~bytes ~update:0 (fun arrival ->
+                let backup = t.nodes.(r) in
+                ignore (serve t backup ~arrival ~cost:2.);
+                let rp = replica_page t backup page in
+                rp.rp_archive <- (wid, index, diff, vt) :: rp.rp_archive;
+                Mem.Accounting.add backup.stats.Stats.proto_mem (Mem.Diff.size_bytes diff))
+          end)
+        ranks
 
 (* ------------------------------------------------------------------ *)
 (* Eager RC support                                                   *)

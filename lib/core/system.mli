@@ -41,6 +41,19 @@ type home_page = {
 
 and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
 
+(** Backup-side state for one page this node backs up ([replicas] > 1).
+    [rp_data]/[rp_flush] are the warm copy and the per-writer cut applied
+    into it (complete under the [Backup] scheme; only the primary's own
+    pushed writes under [Inval]). [rp_archive] holds the diffs homeless
+    writers stream to the page's replica members — (writer, interval,
+    diff, writer vt), newest first, never freed. *)
+type replica_page = {
+  rp_page : int;
+  mutable rp_data : Mem.Words.t option;
+  rp_flush : Proto.Vclock.t;
+  mutable rp_archive : (int * int * Mem.Diff.t * Proto.Vclock.t) list;
+}
+
 (** Distributed-lock state at one node (token forwarding; the manager
     tracks the last requester). *)
 type lock_state = {
@@ -78,6 +91,18 @@ type node_state = {
   mutable rc_acks : int;
   mutable rc_drain : (float -> unit) list;
   mutable in_gc : bool;
+  repl : (int, replica_page) Hashtbl.t;  (** Pages this node backs up. *)
+  mutable fault_page : int;
+      (** Page of the in-flight fault fetch ([-1] = none). *)
+  mutable fault_retry : (unit -> unit) option;
+      (** Re-issues the blocked fault's fetch; failover bumps [fetch_gen]
+          and invokes this to re-route a fetch lost to a dead home. *)
+  mutable fetch_gen : int;
+      (** Generation of the in-flight fault fetch; reply handlers from a
+          superseded generation discard themselves on arrival. *)
+  mutable stall_mark : float;
+      (** Failover time while awaiting resume ([-1] = none); the next
+          resume records the difference as this fetch's recovery stall. *)
   mutable finished : bool;
   mutable start_clock : float;
   mutable start_breakdown : Stats.breakdown;
@@ -90,6 +115,23 @@ type barrier_state = {
   mutable bar_mem_high : bool;
   mutable bar_epoch : int;
   mutable bar_released : int;
+  mutable bar_target : int;
+      (** Release-applies expected this epoch: the manager plus every live
+          remote arrival. Dead nodes never apply (their releases are
+          dropped), so the paranoid-check rendezvous counts only the
+          living. *)
+}
+
+(** In-progress failover recovery of one re-homed page at its new primary
+    (driven by [Replica]): pulled/archived diffs accumulate in [rc_pull]
+    until the last writer reply lands; normal flushes arriving mid-recovery
+    are stashed in [rc_live] and applied after the causally-sorted pull. *)
+type recovery = {
+  mutable rc_pull : (int * int * Mem.Diff.t * Proto.Vclock.t) list;
+      (** (writer, interval index, diff, writer vt). *)
+  mutable rc_live : (int * int * Mem.Diff.t) list;
+      (** Flushes stashed in arrival order, newest first. *)
+  mutable rc_outstanding : int;  (** Writer replies still awaited. *)
 }
 
 type t = {
@@ -115,6 +157,15 @@ type t = {
   mutable sink : Obs.Trace.sink option;
   mutable next_span : int;  (** Wait-span id allocator (causal layer). *)
   mutable finished_count : int;
+  alive : bool array;  (** [false] once the chaos schedule killed the node. *)
+  repl_tbl : (int, int array) Hashtbl.t;
+      (** page -> replica ranks (home first, then the next node ids mod
+          nprocs); populated by {!malloc} only when [replicas] > 1. *)
+  mutable failover_stalls : float list;
+      (** Per re-routed fetch: resume time minus failover time. *)
+  failover_at : (int, float) Hashtbl.t;  (** page -> last failover time. *)
+  recovering : (int, recovery) Hashtbl.t;
+      (** page -> in-progress failover recovery at the promoted primary. *)
   chaos : Machine.Chaos.t option;  (** Fault plan; [None] = fault-free run. *)
   mutable transport : Machine.Transport.t option;
       (** Reliable transport over the chaotic network; installed iff [chaos]
@@ -304,6 +355,68 @@ val root : t -> string -> int
 
 (** Total allocated shared memory, bytes. *)
 val shared_bytes : t -> int
+
+(** {1 Home replication and node liveness} *)
+
+(** Whether this run maintains replica sets ([replicas] > 1). *)
+val replicated : t -> bool
+
+(** Whether the node is still up (true until the chaos schedule kills it). *)
+val is_alive : t -> int -> bool
+
+(** The page's replica ranks, or [None] when [replicas] = 1. *)
+val replica_ranks : t -> int -> int array option
+
+(** First live member of the page's replica set: the promotion target of a
+    home-based failover, and the fallback server of homeless protocols. *)
+val live_replica : t -> int -> int option
+
+(** Backup-side state of a replicated page at [node], created on first use
+    (the replica directory entry is memory-accounted). *)
+val replica_page : t -> node_state -> int -> replica_page
+
+(** Crash-stop the node: outbound sends are discarded at the source,
+    inbound deliveries dropped on arrival, and (on chaos runs) the
+    transport cancels its in-flight packets so no retransmission storm
+    follows. Emits {!Obs.Trace.Node_kill}. Idempotent. *)
+val kill_node : t -> node:int -> time:float -> unit
+
+(** Apply a streamed diff into the backup's warm copy (backup scheme or a
+    primary-local push) and advance its applied cut. *)
+val deliver_repl_update :
+  t -> node_state -> arrival:float -> page:int -> writer:int -> index:int -> Mem.Diff.t -> unit
+
+(** Keep the page's backups consistent after the primary applied a diff:
+    a full-diff stream when [payload] is set or the scheme is [Backup],
+    else a header-only invalidation record. Under the inval scheme a
+    payload push (the primary's own diff) is archived at the backup with
+    its timestamp [vt] (required iff [payload]) rather than applied, so
+    failover recovery can order it causally against pulled diffs. No-op at
+    [replicas] = 1. *)
+val propagate_update :
+  t ->
+  node_state ->
+  page:int ->
+  writer:int ->
+  index:int ->
+  diff:Mem.Diff.t ->
+  vt:Proto.Vclock.t option ->
+  at:float ->
+  payload:bool ->
+  unit
+
+(** Homeless replication: stream a retained diff (with interval index and
+    vector time) to the page's replica members, which archive it for
+    dead-writer / dead-keeper recovery. No-op at [replicas] = 1. *)
+val propagate_archive :
+  t ->
+  node_state ->
+  page:int ->
+  index:int ->
+  diff:Mem.Diff.t ->
+  vt:Proto.Vclock.t ->
+  at:float ->
+  unit
 
 (** {1 Eager RC support} *)
 

@@ -23,6 +23,7 @@ type row = {
 
 let default_params ~fault_seed =
   {
+    Machine.Chaos.none with
     Machine.Chaos.drop_rate = 0.02;
     dup_rate = 0.01;
     jitter = 5.0;
@@ -92,5 +93,213 @@ let report ppf ?pool ?scale ?nprocs ?fault_seeds ?params () =
         (if r.s_ok then "ok" else Printf.sprintf "MISMATCH (expected %016Lx)" r.s_expected))
     rows;
   let bad = List.filter (fun r -> not r.s_ok) rows in
+  Format.fprintf ppf "@.%d cell(s), %d divergence(s)@." (List.length rows) (List.length bad);
+  bad = []
+
+(* ------------------------------------------------------------------ *)
+(* Node-kill differential sweep                                       *)
+
+(* The property extends to crash-stops: with a replica degree >= 2, killing
+   a node after its last synchronization arrival (its committed history is
+   complete; only its cached copies die with it) must leave the final
+   shared-memory digest identical to the fault-free twin's — the failover
+   rebuilt every page the victim was hosting. *)
+
+type kill_row = {
+  k_app : string;
+  k_proto : Svm.Config.protocol;
+  k_scheme : Svm.Config.repl_scheme;
+  k_replicas : int;
+  k_kill_at : float;
+  k_ok : bool;
+  k_digest : int64;
+  k_expected : int64;
+  k_failovers : int;
+  k_stall_p99 : float;
+}
+
+(* Eager protocols push updates at write time and have no replica machinery
+   (Config rejects --replicas > 1 for them). *)
+let replicable =
+  List.filter (fun p -> p <> Svm.Config.Aurc && p <> Svm.Config.Rc) protocols
+
+let stall_p99 (r : Svm.Runtime.report) =
+  match r.Svm.Runtime.r_failover_stalls with
+  | [] -> 0.
+  | stalls ->
+      let a = Array.of_list stalls (* sorted ascending *) in
+      let n = Array.length a in
+      a.(min (n - 1) (max 0 (int_of_float (ceil (0.99 *. float_of_int n)) - 1)))
+
+(* Place the kill in the victim's synchronization tail: after its last
+   barrier arrival in the fault-free twin (watched through a trace sink),
+   before the run's end. Anything earlier loses computation no protocol
+   without logging can recover (crash-stop semantics), and the app's own
+   verification would rightly fail. *)
+let run_killed ~nprocs ~replicas ~scheme proto (app : Apps.Registry.t) =
+  let sink = Obs.Trace.create_sink () in
+  let cfg = Svm.Config.make ~nprocs ~replicas ~repl_scheme:scheme proto in
+  let clean = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:true) in
+  let victim = nprocs - 1 in
+  let last = ref 0. in
+  Obs.Trace.iter sink (fun ev ->
+      if ev.Obs.Trace.node = victim then
+        match ev.Obs.Trace.kind with
+        | Obs.Trace.Barrier_arrive _ -> last := ev.Obs.Trace.time
+        | _ -> ());
+  let kill_at = !last +. (0.5 *. (clean.Svm.Runtime.r_elapsed -. !last)) in
+  let chaos =
+    { Machine.Chaos.none with Machine.Chaos.kill = Some (victim, kill_at) }
+  in
+  let cfg = Svm.Config.make ~nprocs ~replicas ~repl_scheme:scheme ~chaos proto in
+  let killed = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true) in
+  (clean, killed, kill_at)
+
+let kill_sweep ?(pool = Pool.sequential) ?(scale = Apps.Registry.Test) ?(nprocs = 4)
+    ?(replicas = 2) () =
+  let apps =
+    List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
+  in
+  let tasks =
+    List.concat_map
+      (fun proto -> List.map (fun (app : Apps.Registry.t) -> (proto, app)) apps)
+      replicable
+  in
+  Pool.map pool
+    (fun (proto, (app : Apps.Registry.t)) ->
+      List.map
+        (fun scheme ->
+          let clean, killed, kill_at = run_killed ~nprocs ~replicas ~scheme proto app in
+          let expected = clean.Svm.Runtime.r_mem_digest in
+          {
+            k_app = app.Apps.Registry.name;
+            k_proto = proto;
+            k_scheme = scheme;
+            k_replicas = replicas;
+            k_kill_at = kill_at;
+            k_ok = Int64.equal killed.Svm.Runtime.r_mem_digest expected;
+            k_digest = killed.Svm.Runtime.r_mem_digest;
+            k_expected = expected;
+            k_failovers = sum_counter killed (fun c -> c.Svm.Stats.failovers);
+            k_stall_p99 = stall_p99 killed;
+          })
+        [ Svm.Config.Inval; Svm.Config.Backup ])
+    tasks
+  |> List.concat
+
+let kill_report ppf ?pool ?scale ?nprocs ?replicas () =
+  let rows = kill_sweep ?pool ?scale ?nprocs ?replicas () in
+  Format.fprintf ppf "@.=== Kill soak: failover differential soundness ===@.@.";
+  Format.fprintf ppf "%-10s %-6s %-7s %2s %10s %9s %9s  %s@." "app" "proto" "scheme" "K"
+    "kill_at" "failovers" "p99stall" "digest";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-6s %-7s %2d %10.0f %9d %8.0fu  %016Lx %s@." r.k_app
+        (String.lowercase_ascii (Svm.Config.protocol_name r.k_proto))
+        (Svm.Config.repl_scheme_name r.k_scheme)
+        r.k_replicas r.k_kill_at r.k_failovers r.k_stall_p99 r.k_digest
+        (if r.k_ok then "ok" else Printf.sprintf "MISMATCH (expected %016Lx)" r.k_expected))
+    rows;
+  let bad = List.filter (fun r -> not r.k_ok) rows in
+  Format.fprintf ppf "@.%d cell(s), %d divergence(s)@." (List.length rows) (List.length bad);
+  bad = []
+
+(* ------------------------------------------------------------------ *)
+(* Availability cost                                                  *)
+
+(* What replication costs when nothing fails (extra traffic, slowdown vs
+   K = 1) and what a failure costs when it happens (recovery stalls), per
+   protocol x application x degree x scheme. *)
+
+type avail_row = {
+  a_app : string;
+  a_proto : Svm.Config.protocol;
+  a_replicas : int;
+  a_scheme : Svm.Config.repl_scheme option;  (** [None] at K = 1 (no replication). *)
+  a_repl_msgs : int;  (** Replication updates + invalidations, fault-free run. *)
+  a_repl_bytes : int;
+  a_overhead : float;  (** elapsed(K, scheme) / elapsed(K = 1), fault-free. *)
+  a_failovers : int;  (** From the killed run; 0 at K = 1 (no kill attempted). *)
+  a_stall_mean : float;
+  a_stall_p99 : float;
+  a_ok : bool;  (** Killed-run digest matches fault-free; vacuously true at K = 1. *)
+}
+
+let availability ?(pool = Pool.sequential) ?(scale = Apps.Registry.Test) ?(nprocs = 4)
+    ?(degrees = [ 2; 3 ]) () =
+  let apps =
+    List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
+  in
+  let tasks =
+    List.concat_map
+      (fun proto -> List.map (fun (app : Apps.Registry.t) -> (proto, app)) apps)
+      replicable
+  in
+  Pool.map pool
+    (fun (proto, (app : Apps.Registry.t)) ->
+      let base = run_one ~nprocs ~chaos:Machine.Chaos.none proto app in
+      let base_row =
+        {
+          a_app = app.Apps.Registry.name;
+          a_proto = proto;
+          a_replicas = 1;
+          a_scheme = None;
+          a_repl_msgs = 0;
+          a_repl_bytes = 0;
+          a_overhead = 1.;
+          a_failovers = 0;
+          a_stall_mean = 0.;
+          a_stall_p99 = 0.;
+          a_ok = true;
+        }
+      in
+      base_row
+      :: List.concat_map
+           (fun replicas ->
+             List.map
+               (fun scheme ->
+                 let clean, killed, _ = run_killed ~nprocs ~replicas ~scheme proto app in
+                 let stalls = killed.Svm.Runtime.r_failover_stalls in
+                 let n = List.length stalls in
+                 {
+                   a_app = app.Apps.Registry.name;
+                   a_proto = proto;
+                   a_replicas = replicas;
+                   a_scheme = Some scheme;
+                   a_repl_msgs =
+                     sum_counter clean (fun c -> c.Svm.Stats.repl_updates)
+                     + sum_counter clean (fun c -> c.Svm.Stats.repl_invals);
+                   a_repl_bytes = sum_counter clean (fun c -> c.Svm.Stats.repl_bytes);
+                   a_overhead =
+                     clean.Svm.Runtime.r_elapsed /. base.Svm.Runtime.r_elapsed;
+                   a_failovers = sum_counter killed (fun c -> c.Svm.Stats.failovers);
+                   a_stall_mean =
+                     (if n = 0 then 0.
+                      else List.fold_left ( +. ) 0. stalls /. float_of_int n);
+                   a_stall_p99 = stall_p99 killed;
+                   a_ok =
+                     Int64.equal killed.Svm.Runtime.r_mem_digest
+                       clean.Svm.Runtime.r_mem_digest;
+                 })
+               [ Svm.Config.Inval; Svm.Config.Backup ])
+           degrees)
+    tasks
+  |> List.concat
+
+let availability_report ppf ?pool ?scale ?nprocs ?degrees () =
+  let rows = availability ?pool ?scale ?nprocs ?degrees () in
+  Format.fprintf ppf "@.=== Availability cost: replication traffic and recovery stalls ===@.@.";
+  Format.fprintf ppf "%-10s %-6s %2s %-7s %9s %10s %9s %9s %10s %10s@." "app" "proto" "K"
+    "scheme" "repl_msgs" "repl_bytes" "overhead" "failovers" "stall_mean" "stall_p99";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-6s %2d %-7s %9d %10d %8.3fx %9d %9.0fu %9.0fu%s@." r.a_app
+        (String.lowercase_ascii (Svm.Config.protocol_name r.a_proto))
+        r.a_replicas
+        (match r.a_scheme with None -> "-" | Some s -> Svm.Config.repl_scheme_name s)
+        r.a_repl_msgs r.a_repl_bytes r.a_overhead r.a_failovers r.a_stall_mean r.a_stall_p99
+        (if r.a_ok then "" else "  DIGEST MISMATCH"))
+    rows;
+  let bad = List.filter (fun r -> not r.a_ok) rows in
   Format.fprintf ppf "@.%d cell(s), %d divergence(s)@." (List.length rows) (List.length bad);
   bad = []

@@ -47,3 +47,89 @@ val report :
   ?params:Machine.Chaos.params ->
   unit ->
   bool
+
+(** {1 Node-kill differential sweep}
+
+    Crash-stop a node mid-run with a replica degree >= 2 and require the
+    final shared-memory digest to match the fault-free twin's: the failover
+    must have rebuilt every page the victim hosted. The kill lands in the
+    victim's synchronization tail (after its last barrier arrival in the
+    fault-free twin) — earlier kills lose committed-but-unreplicated work
+    that crash-stop semantics cannot recover. *)
+
+type kill_row = {
+  k_app : string;
+  k_proto : Svm.Config.protocol;
+  k_scheme : Svm.Config.repl_scheme;
+  k_replicas : int;
+  k_kill_at : float;  (** Derived kill time, microseconds. *)
+  k_ok : bool;  (** digest matches the fault-free twin *)
+  k_digest : int64;
+  k_expected : int64;
+  k_failovers : int;
+  k_stall_p99 : float;  (** p99 recovery stall of re-routed fetches, us. *)
+}
+
+(** Every replicable protocol (eager AURC / RC excluded) x registered
+    application x scheme ([Inval] and [Backup]), killing node
+    [nprocs - 1] with [replicas] (default 2) copies per page. *)
+val kill_sweep :
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  unit ->
+  kill_row list
+
+(** Run {!kill_sweep}, print one line per row plus a summary, and return
+    whether every cell matched. *)
+val kill_report :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  unit ->
+  bool
+
+(** {1 Availability cost}
+
+    The price of surviving a home failure: fault-free replication traffic
+    and slowdown versus an unreplicated run, and the recovery stalls a
+    kill actually causes, per protocol x application x degree x scheme. *)
+
+type avail_row = {
+  a_app : string;
+  a_proto : Svm.Config.protocol;
+  a_replicas : int;
+  a_scheme : Svm.Config.repl_scheme option;  (** [None] at K = 1. *)
+  a_repl_msgs : int;  (** Replication updates + invals, fault-free run. *)
+  a_repl_bytes : int;
+  a_overhead : float;  (** elapsed(K, scheme) / elapsed(K = 1), fault-free. *)
+  a_failovers : int;  (** From the killed run; 0 at K = 1. *)
+  a_stall_mean : float;
+  a_stall_p99 : float;
+  a_ok : bool;  (** Killed-run digest matches; vacuously true at K = 1. *)
+}
+
+(** Replicable protocols x applications x degrees (default [[2; 3]], plus
+    the K = 1 baseline row) x schemes; each K >= 2 cell also runs a tail
+    kill to measure recovery. *)
+val availability :
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?degrees:int list ->
+  unit ->
+  avail_row list
+
+(** Run {!availability}, print the table, and return whether every killed
+    cell's digest matched its fault-free twin. *)
+val availability_report :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?degrees:int list ->
+  unit ->
+  bool

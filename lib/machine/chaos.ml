@@ -14,12 +14,31 @@ type params = {
   jitter : float;
   straggler : float;
   fault_seed : int;
+  kill : (int * float) option;
+  pause : (int * float * float) option;
+  detect_delay : float;
 }
 
-let none = { drop_rate = 0.; dup_rate = 0.; jitter = 0.; straggler = 1.0; fault_seed = 0 }
+let none =
+  {
+    drop_rate = 0.;
+    dup_rate = 0.;
+    jitter = 0.;
+    straggler = 1.0;
+    fault_seed = 0;
+    kill = None;
+    pause = None;
+    detect_delay = 500.;
+  }
 
+(* Kills are deliberately *not* part of [enabled]: a kill silences links and
+   triggers failover but must not install the reliable transport (whose
+   retransmission machinery would perturb the surviving traffic); a pause is
+   a gray failure that heals, which only the transport's retransmissions can
+   deliver through. *)
 let enabled p =
   p.drop_rate > 0. || p.dup_rate > 0. || p.jitter > 0. || p.straggler > 1.0
+  || p.pause <> None
 
 let validate p =
   let prob name x =
@@ -35,9 +54,43 @@ let validate p =
       Error (Printf.sprintf "jitter must be non-negative (got %g)" p.jitter)
     else Ok ()
   in
-  if Float.is_nan p.straggler || p.straggler < 1.0 then
-    Error (Printf.sprintf "straggler multiplier must be >= 1.0 (got %g)" p.straggler)
+  let* () =
+    if Float.is_nan p.straggler || p.straggler < 1.0 then
+      Error (Printf.sprintf "straggler multiplier must be >= 1.0 (got %g)" p.straggler)
+    else Ok ()
+  in
+  let* () =
+    match p.kill with
+    | None -> Ok ()
+    | Some (node, at) ->
+        if node < 0 then Error (Printf.sprintf "kill node must be >= 0 (got %d)" node)
+        else if Float.is_nan at || at < 0. then
+          Error (Printf.sprintf "kill time must be non-negative (got %g)" at)
+        else Ok ()
+  in
+  let* () =
+    match p.pause with
+    | None -> Ok ()
+    | Some (node, from_, until) ->
+        if node < 0 then Error (Printf.sprintf "pause node must be >= 0 (got %d)" node)
+        else if Float.is_nan from_ || Float.is_nan until || from_ < 0. || until < from_
+        then
+          Error
+            (Printf.sprintf "pause window must satisfy 0 <= from <= until (got %g..%g)"
+               from_ until)
+        else Ok ()
+  in
+  if Float.is_nan p.detect_delay || p.detect_delay < 0. then
+    Error (Printf.sprintf "detect delay must be non-negative (got %g)" p.detect_delay)
   else Ok ()
+
+(* [silenced p ~node ~time]: the node-fault schedule has this node's links
+   down at [time] (killed for good, or inside a pause window). *)
+let silenced p ~node ~time =
+  (match p.kill with Some (n, at) -> n = node && time >= at | None -> false)
+  || match p.pause with
+     | Some (n, from_, until) -> n = node && time >= from_ && time < until
+     | None -> false
 
 (* One spike in [spike_one_in] jittered messages lands [spike_factor] times
    further out: a crude heavy tail (congestion burst, route flap). *)

@@ -22,17 +22,40 @@ type params = {
       (** Per-node CPU slowdown cap: each node's compute multiplier is
           drawn uniformly from [1.0, straggler]. 1.0 = no stragglers. *)
   fault_seed : int;  (** Seed of the fault plan (independent of app seed). *)
+  kill : (int * float) option;
+      (** [(node, time)]: permanently silence the node's inbound and
+          outbound links from [time] (microseconds) on — a crash-stop
+          failure. The runtime schedules failover for the node's pages
+          [detect_delay] later. [None] = no kill. *)
+  pause : (int * float * float) option;
+      (** [(node, from, until)]: gray failure — the node's links are
+          silenced during [[from, until)] and then heal. Requires the
+          reliable transport (and therefore flips {!enabled}). *)
+  detect_delay : float;
+      (** Failure-detector latency: failover runs at kill time +
+          [detect_delay]. The detector is deterministic and perfect —
+          it fires only for a scheduled kill, never from jitter or
+          stragglers, so spurious failover is impossible by construction. *)
 }
 
-(** The inert plan: zero rates, no jitter, no stragglers. *)
+(** The inert plan: zero rates, no jitter, no stragglers, no node faults. *)
 val none : params
 
-(** [enabled p] is [true] iff [p] can ever perturb a run. *)
+(** [enabled p] is [true] iff [p] needs the chaos-aware transport path.
+    Deliberately excludes [kill]: a crash-stop only drops deliveries and
+    triggers failover, and must not perturb surviving traffic with
+    transport machinery. [pause] is included — healing a gray failure
+    needs retransmission. *)
 val enabled : params -> bool
 
 (** [validate p] checks rates are probabilities in [0, 1], [jitter] is
-    non-negative and [straggler >= 1.0]. *)
+    non-negative, [straggler >= 1.0], and the kill/pause schedule and
+    [detect_delay] are well-formed. *)
 val validate : params -> (unit, string) result
+
+(** [silenced p ~node ~time]: the schedule has the node's links down at
+    [time] — killed for good, or inside its pause window. *)
+val silenced : params -> node:int -> time:float -> bool
 
 type t
 

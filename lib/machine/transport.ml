@@ -14,6 +14,7 @@ type notice =
   | Dup_dropped of { src : int; dst : int; seq : int }
   | Ack_sent of { src : int; dst : int; upto : int }
   | Gave_up of { src : int; dst : int; seq : int; retries : int }
+  | Peer_dead of { src : int; dst : int; seq : int; bytes : int }
 
 let seq_bytes = 8
 
@@ -54,10 +55,25 @@ type t = {
   notify : time:float -> notice -> unit;
   links : (int * int, link) Hashtbl.t;
   mutable pool : packet list;  (* free packets, recycled by [release] *)
+  dead : (int, unit) Hashtbl.t;  (* crash-stopped peers, via [kill_peer] *)
 }
 
 let create ~engine ~net ~chaos ?(max_retries = 10) ~notify () =
-  { engine; net; chaos; max_retries; notify; links = Hashtbl.create 64; pool = [] }
+  {
+    engine;
+    net;
+    chaos;
+    max_retries;
+    notify;
+    links = Hashtbl.create 64;
+    pool = [];
+    dead = Hashtbl.create 4;
+  }
+
+(* A node's links are down at [time] if it crash-stopped or sits inside a
+   pause (gray-failure) window of the chaos schedule. *)
+let down_at t node ~time =
+  Hashtbl.mem t.dead node || Chaos.silenced (Chaos.params t.chaos) ~node ~time
 
 let dummy_handler (_ : float) = ()
 
@@ -127,13 +143,15 @@ let send_ack t l ~at ~received =
   let transfer = Network.transfer_time t.net ~src:l.l_dst ~dst:l.l_src ~bytes:ack_bytes in
   let deliver_copy delay =
     Sim.Engine.schedule t.engine ~at:(at +. transfer +. delay) (fun () ->
-        let acked =
-          Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc) l.l_inflight []
-        in
-        List.iter (Hashtbl.remove l.l_inflight) acked;
-        Hashtbl.remove l.l_inflight received)
+        if not (down_at t l.l_src ~time:(Sim.Engine.now t.engine)) then begin
+          let acked =
+            Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc) l.l_inflight []
+          in
+          List.iter (Hashtbl.remove l.l_inflight) acked;
+          Hashtbl.remove l.l_inflight received
+        end)
   in
-  if v.Chaos.drop then
+  if v.Chaos.drop || down_at t l.l_dst ~time:at then
     t.notify ~time:at
       (Dropped { src = l.l_src; dst = l.l_dst; seq = upto; bytes = ack_bytes; ack = true })
   else deliver_copy v.Chaos.delay;
@@ -144,7 +162,8 @@ let deliver t l handler ~at =
      at or before the previous one on the same link. *)
   let slot = if at <= l.l_last_deliver then l.l_last_deliver +. 1e-6 else at in
   l.l_last_deliver <- slot;
-  Sim.Engine.schedule t.engine ~at:slot (fun () -> handler slot)
+  Sim.Engine.schedule t.engine ~at:slot (fun () ->
+      if not (Hashtbl.mem t.dead l.l_dst) then handler slot)
 
 let receive t l ~seq ~handler ~at =
   if seq < l.l_expected || Hashtbl.mem l.l_reorder seq then
@@ -176,11 +195,18 @@ let transmit t l (p : packet) ~at =
     Sim.Engine.schedule t.engine
       ~at:(at +. transfer +. delay)
       (fun () ->
-        let seq = p.p_seq and handler = p.p_handler in
+        let seq = p.p_seq and bytes = p.p_bytes and handler = p.p_handler in
         release t l p;
-        receive t l ~seq ~handler ~at:(Sim.Engine.now t.engine))
+        let now = Sim.Engine.now t.engine in
+        if Hashtbl.mem t.dead l.l_dst then
+          t.notify ~time:now (Peer_dead { src = l.l_src; dst = l.l_dst; seq; bytes })
+        else if down_at t l.l_dst ~time:now then
+          (* Paused receiver: the copy is lost; retransmission heals it. *)
+          t.notify ~time:now
+            (Dropped { src = l.l_src; dst = l.l_dst; seq; bytes; ack = false })
+        else receive t l ~seq ~handler ~at:now)
   in
-  if v.Chaos.drop then
+  if v.Chaos.drop || down_at t l.l_src ~time:at then
     t.notify ~time:at
       (Dropped { src = l.l_src; dst = l.l_dst; seq = p.p_seq; bytes = p.p_bytes; ack = false })
   else copy v.Chaos.delay;
@@ -222,19 +248,49 @@ let rec arm_timer t l (p : packet) ~at =
 
 let send t ~src ~dst ~at ~bytes handler =
   if src = dst then invalid_arg "Transport.send: loopback is the caller's fast path";
-  let l = link t ~src ~dst in
-  let p =
-    alloc_packet t ~seq:l.l_next_seq ~bytes ~handler ~rto:(initial_rto t l ~bytes)
-  in
-  l.l_next_seq <- l.l_next_seq + 1;
-  Hashtbl.replace l.l_inflight p.p_seq p;
-  transmit t l p ~at;
-  arm_timer t l p ~at
+  if Hashtbl.mem t.dead dst || Hashtbl.mem t.dead src then
+    (* No sequence number, no timer, no retransmission storm: the send is
+       abandoned up front ([seq = -1] marks the never-transmitted case). *)
+    t.notify ~time:at (Peer_dead { src; dst; seq = -1; bytes })
+  else begin
+    let l = link t ~src ~dst in
+    let p =
+      alloc_packet t ~seq:l.l_next_seq ~bytes ~handler ~rto:(initial_rto t l ~bytes)
+    in
+    l.l_next_seq <- l.l_next_seq + 1;
+    Hashtbl.replace l.l_inflight p.p_seq p;
+    transmit t l p ~at;
+    arm_timer t l p ~at
+  end
 
 (* --- diagnostics ---------------------------------------------------- *)
 
 let fold_links t f acc =
   Hashtbl.fold (fun _ l acc -> f acc l) t.links acc
+
+(* Crash-stop [peer]: every packet in flight on a link touching it is
+   abandoned now — removed from the in-flight table so the already-armed
+   backoff timers find nothing to do and just release their packet to the
+   pool (cancellation without retransmission), and reported as [Peer_dead]
+   instead of silently burning the retry cap. Future sends to or from the
+   peer are refused up front in [send]. *)
+let kill_peer t ~peer ~time =
+  Hashtbl.replace t.dead peer ();
+  let links =
+    fold_links t (fun acc l -> if l.l_src = peer || l.l_dst = peer then l :: acc else acc) []
+    |> List.sort (fun a b -> compare (a.l_src, a.l_dst) (b.l_src, b.l_dst))
+  in
+  List.iter
+    (fun l ->
+      let pending =
+        Hashtbl.fold (fun seq p acc -> (seq, p) :: acc) l.l_inflight [] |> List.sort compare
+      in
+      List.iter
+        (fun (seq, p) ->
+          Hashtbl.remove l.l_inflight seq;
+          t.notify ~time (Peer_dead { src = l.l_src; dst = l.l_dst; seq; bytes = p.p_bytes }))
+        pending)
+    links
 
 let inflight_count t = fold_links t (fun acc l -> acc + Hashtbl.length l.l_inflight) 0
 

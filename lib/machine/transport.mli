@@ -36,6 +36,11 @@ type notice =
           the reorder buffer above a gap. *)
   | Gave_up of { src : int; dst : int; seq : int; retries : int }
       (** Retry cap hit; the packet will never be delivered. *)
+  | Peer_dead of { src : int; dst : int; seq : int; bytes : int }
+      (** The packet was abandoned because one endpoint crash-stopped:
+          either cancelled in flight by {!kill_peer}, refused at
+          {!send} ([seq = -1], never transmitted), or its copy arrived
+          at a dead receiver. No retransmission will follow. *)
 
 type t
 
@@ -59,6 +64,16 @@ val create :
     in-order delivery time, or never if the retry cap is hit. Loopback
     ([src = dst]) is not supported here; callers short-circuit it. *)
 val send : t -> src:int -> dst:int -> at:float -> bytes:int -> (float -> unit) -> unit
+
+(** [kill_peer t ~peer ~time] records [peer] as crash-stopped: every packet
+    in flight on a link touching it is cancelled (its backoff timer finds
+    nothing in flight and releases the packet to the pool — no
+    retransmission storm at the retry cap) and reported as {!Peer_dead};
+    later sends to or from the peer are refused up front the same way.
+    Nodes inside a {!Chaos.params.pause} window are handled without this
+    call: their copies are treated as network drops and heal by
+    retransmission once the window closes. *)
+val kill_peer : t -> peer:int -> time:float -> unit
 
 (** Packets currently awaiting acknowledgement, across all links. *)
 val inflight_count : t -> int

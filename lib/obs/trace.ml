@@ -43,6 +43,11 @@ type kind =
   | Wait_end of { span : int; bucket : wait_bucket; resource : int }
   | Mem_sample of { bytes : int }
   | Diff_reply of { page : int; dst : int; bytes : int }
+  | Node_kill of { node : int }
+  | Msg_peer_dead of { peer : int; seq : int; bytes : int }
+  | Failover of { page : int; from_ : int; to_ : int }
+  | Repl_update of { page : int; dst : int; bytes : int }
+  | Repl_inval of { page : int; dst : int }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -79,6 +84,11 @@ let kind_name = function
   | Wait_end _ -> "wait_end"
   | Mem_sample _ -> "mem_sample"
   | Diff_reply _ -> "diff_reply"
+  | Node_kill _ -> "node_kill"
+  | Msg_peer_dead _ -> "msg_peer_dead"
+  | Failover _ -> "failover"
+  | Repl_update _ -> "repl_update"
+  | Repl_inval _ -> "repl_inval"
 
 let kind_fields = function
   | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
@@ -145,6 +155,14 @@ let kind_fields = function
   | Mem_sample { bytes } -> [ ("bytes", Json.Int bytes) ]
   | Diff_reply { page; dst; bytes } ->
       [ ("page", Json.Int page); ("dst", Json.Int dst); ("bytes", Json.Int bytes) ]
+  | Node_kill { node } -> [ ("node", Json.Int node) ]
+  | Msg_peer_dead { peer; seq; bytes } ->
+      [ ("peer", Json.Int peer); ("seq", Json.Int seq); ("bytes", Json.Int bytes) ]
+  | Failover { page; from_; to_ } ->
+      [ ("page", Json.Int page); ("from", Json.Int from_); ("to", Json.Int to_) ]
+  | Repl_update { page; dst; bytes } ->
+      [ ("page", Json.Int page); ("dst", Json.Int dst); ("bytes", Json.Int bytes) ]
+  | Repl_inval { page; dst } -> [ ("page", Json.Int page); ("dst", Json.Int dst) ]
 
 let to_json ev =
   Json.Obj
@@ -212,6 +230,16 @@ let render = function
       Some
         (Printf.sprintf "watchdog: no progress (%d blocked nodes, %d in-flight packets)" blocked
            inflight)
+  (* Replication/failover kinds are chaos-era too: free-form lines. *)
+  | Node_kill { node } -> Some (Printf.sprintf "chaos: node %d killed (links silenced)" node)
+  | Msg_peer_dead { peer; seq; bytes } ->
+      Some (Printf.sprintf "transport: peer %d dead, abandoned seq %d (%d bytes)" peer seq bytes)
+  | Failover { page; from_; to_ } ->
+      Some (Printf.sprintf "failover: page %d re-homed from dead node %d to node %d" page from_ to_)
+  | Repl_update { page; dst; bytes } ->
+      Some (Printf.sprintf "replication: update for page %d to backup %d (%d bytes)" page dst bytes)
+  | Repl_inval { page; dst } ->
+      Some (Printf.sprintf "replication: invalidate page %d at backup %d" page dst)
   (* Causal-layer kinds (spans, counter samples, reply correlation) are
      opt-in and machine-oriented; they have no legacy line either. *)
   | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ | Wait_begin _

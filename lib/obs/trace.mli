@@ -79,6 +79,22 @@ type kind =
   | Diff_reply of { page : int; dst : int; bytes : int }
       (** A writer starts the reply to a {!Diff_request} from [dst]; lets
           the exporter draw the request→reply flow (same gating). *)
+  | Node_kill of { node : int }
+      (** Chaos node-fault schedule: the node crash-stopped — its inbound
+          and outbound links are silenced from now on. *)
+  | Msg_peer_dead of { peer : int; seq : int; bytes : int }
+      (** A send or in-flight packet abandoned because [peer] is dead
+          ([seq] = -1 on the transport-less fast path). *)
+  | Failover of { page : int; from_ : int; to_ : int }
+      (** The failure detector promoted replica [to_] to primary for
+          [page] after home [from_] died. *)
+  | Repl_update of { page : int; dst : int; bytes : int }
+      (** Replication: a diff payload streamed to backup [dst]
+          (primary-backup scheme, or a primary-local write under either
+          scheme). *)
+  | Repl_inval of { page : int; dst : int }
+      (** Replication: an invalidation record sent to backup [dst]
+          (invalidation scheme). *)
 
 type event = {
   time : float;  (** Simulated time, microseconds. *)

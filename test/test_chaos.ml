@@ -65,6 +65,7 @@ let test_chaos_validate () =
 let test_chaos_deterministic () =
   let p =
     {
+      Machine.Chaos.none with
       Machine.Chaos.drop_rate = 0.3;
       dup_rate = 0.2;
       jitter = 4.0;
@@ -97,6 +98,7 @@ let test_transport_reliable_fifo () =
   let chaos =
     Machine.Chaos.create
       {
+        Machine.Chaos.none with
         Machine.Chaos.drop_rate = 0.3;
         dup_rate = 0.2;
         jitter = 10.0;
@@ -194,11 +196,12 @@ let test_transport_gives_up () =
 
 let chaos_mild fault_seed =
   {
+    Machine.Chaos.none with
     Machine.Chaos.drop_rate = 0.05;
     dup_rate = 0.02;
     jitter = 5.0;
     straggler = 1.25;
-    fault_seed;
+    Machine.Chaos.fault_seed = fault_seed;
   }
 
 let test_config_rejects_bad_chaos () =

@@ -24,4 +24,5 @@ let () =
       ("regressions", Test_regressions.suite);
       ("random", Test_random.suite);
       ("chaos", Test_chaos.suite);
+      ("failover", Test_failover.suite);
     ]

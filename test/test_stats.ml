@@ -85,6 +85,11 @@ let test_counters_sub_componentwise () =
     c.Svm.Stats.msg_retransmits <- v + 14;
     c.Svm.Stats.msg_acks <- v + 15;
     c.Svm.Stats.msg_dup_dropped <- v + 16;
+    c.Svm.Stats.repl_updates <- v + 17;
+    c.Svm.Stats.repl_invals <- v + 18;
+    c.Svm.Stats.repl_bytes <- v + 19;
+    c.Svm.Stats.failovers <- v + 20;
+    c.Svm.Stats.msg_peer_dead <- v + 21;
     c
   in
   let d = Svm.Stats.counters_sub (fill 20) (fill 5) in
@@ -108,6 +113,11 @@ let test_counters_sub_componentwise () =
       ("msg_retransmits", d.Svm.Stats.msg_retransmits);
       ("msg_acks", d.Svm.Stats.msg_acks);
       ("msg_dup_dropped", d.Svm.Stats.msg_dup_dropped);
+      ("repl_updates", d.Svm.Stats.repl_updates);
+      ("repl_invals", d.Svm.Stats.repl_invals);
+      ("repl_bytes", d.Svm.Stats.repl_bytes);
+      ("failovers", d.Svm.Stats.failovers);
+      ("msg_peer_dead", d.Svm.Stats.msg_peer_dead);
     ]
 
 (* Epoch deltas: chronological, the first epoch measured from zero, none
