@@ -11,7 +11,11 @@
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
    ablation-locks ablation-migration ablation-fault-batch chaos-soak
-   kill-soak availability profile perf micro all
+   kill-soak availability profile timeline perf micro all
+
+   --metrics-interval US turns on the sampled metrics recorder in every
+   matrix cell; with --json the dump then carries a per-cell timeline
+   block (the timeline artifact derives its own cadence and ignores it).
 
    Fault injection: --drop-rate, --dup-rate, --jitter, --straggler and
    --fault-seed apply one chaos plan to every simulated cell (chaos-soak
@@ -33,7 +37,7 @@ let known_artifacts =
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3"; "figure4";
     "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
     "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "ablation-fault-batch"; "chaos-soak";
-    "kill-soak"; "availability"; "profile"; "perf"; "micro"; "all";
+    "kill-soak"; "availability"; "profile"; "timeline"; "perf"; "micro"; "all";
   ]
 
 type options = {
@@ -49,6 +53,7 @@ type options = {
   mutable jobs : int;
   mutable fault_batch : int;
   mutable perf_out : string option;
+  mutable metrics_interval : float;
 }
 
 let parse_args () =
@@ -66,6 +71,7 @@ let parse_args () =
       jobs = Harness.Pool.default_jobs ();
       fault_batch = 1;
       perf_out = None;
+      metrics_interval = 0.;
     }
   in
   let rate name s =
@@ -78,7 +84,8 @@ let parse_args () =
     | [] -> ()
     | [ (( "--scale" | "--nodes" | "--drop-rate" | "--dup-rate" | "--jitter"
          | "--straggler" | "--fault-seed" | "--json" | "--trace-out" | "--trace-format"
-         | "--trace-cap" | "--jobs" | "--fault-batch" | "--perf-out" ) as flag) ] ->
+         | "--trace-cap" | "--jobs" | "--fault-batch" | "--perf-out"
+         | "--metrics-interval" ) as flag) ] ->
         missing flag
     | "--scale" :: s :: rest ->
         (o.scale <-
@@ -151,6 +158,13 @@ let parse_args () =
         go rest
     | "--perf-out" :: file :: rest ->
         o.perf_out <- Some file;
+        go rest
+    | "--metrics-interval" :: s :: rest ->
+        (o.metrics_interval <-
+          (match float_of_string_opt s with
+          | Some x when x >= 0. -> x
+          | Some x -> failwith (Printf.sprintf "--metrics-interval: must be >= 0, got %g" x)
+          | None -> failwith (Printf.sprintf "--metrics-interval: expected a number, got %S" s)));
         go rest
     | "--jobs" :: s :: rest ->
         (o.jobs <-
@@ -246,16 +260,23 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+let scale_name = function
+  | Apps.Registry.Test -> "test"
+  | Apps.Registry.Bench -> "bench"
+  | Apps.Registry.Full -> "full"
+
 (* Machine-readable dump of every simulated cell (one per matrix entry). *)
 let dump_json file m =
+  let rm_scale = scale_name (Harness.Matrix.scale m) in
   let cell (app, proto, np, r) =
+    let meta = { Svm.Report_json.rm_app = app; rm_scale } in
     Obs.Json.Obj
       [
         ("app", Obs.Json.String app);
         ( "protocol",
           Obs.Json.String (String.lowercase_ascii (Svm.Config.protocol_name proto)) );
         ("nodes", Obs.Json.Int np);
-        ("report", Svm.Report_json.encode r);
+        ("report", Svm.Report_json.encode ~meta r);
       ]
   in
   let doc =
@@ -287,7 +308,7 @@ let () =
   in
   let m =
     Harness.Matrix.create ~verify:o.verify ?sink ~chaos:o.chaos
-      ~fault_batch:o.fault_batch ~scale:o.scale ()
+      ~fault_batch:o.fault_batch ~metrics_interval:o.metrics_interval ~scale:o.scale ()
   in
   let pool = Harness.Pool.create ~jobs:o.jobs in
   let failures = ref 0 in
@@ -361,6 +382,9 @@ let () =
     | "profile" ->
         Harness.Profile.report ppf ~pool ~verify:o.verify ~chaos:o.chaos
           ~trace_cap:o.trace_cap ~scale:o.scale ~node_counts:o.nodes ()
+    | "timeline" ->
+        let np = match o.nodes with n :: _ when n >= 2 -> n | _ -> 8 in
+        Harness.Timeline.report ppf ~pool ~verify:o.verify ~scale:o.scale ~np ()
     | "micro" -> micro ()
     | "all" ->
         List.iter run

@@ -12,7 +12,7 @@ let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
     json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
     fault_seed fault_batch kill_node kill_at detect_delay pause_node pause_at resume_at
-    replicas repl_scheme_name =
+    replicas repl_scheme_name metrics metrics_interval metrics_out =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -64,9 +64,16 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error msg -> failwith msg);
+  (* --metrics / --metrics-out need the recorder on; default to a 1 ms
+     cadence when --metrics-interval was not given. *)
+  let metrics_interval =
+    if metrics_interval > 0. || not (metrics || metrics_out <> None) then metrics_interval
+    else 1000.0
+  in
   let cfg =
     Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos
-      ~trace_cap ~trace_spans:profile ~fault_batch ~replicas ~repl_scheme protocol
+      ~trace_cap ~trace_spans:profile ~fault_batch ~replicas ~repl_scheme
+      ~metrics_interval protocol
   in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
@@ -84,11 +91,20 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     | Some sink when profile -> Some (Obs.Critical_path.analyze sink)
     | _ -> None
   in
+  let meta =
+    {
+      Svm.Report_json.rm_app = app.Apps.Registry.name;
+      rm_scale = String.lowercase_ascii scale_name;
+    }
+  in
   (match json_out with
   | None -> ()
-  | Some file -> Svm.Report_json.write ?critical_path ?trace:sink file r);
+  | Some file -> Svm.Report_json.write ~meta ?critical_path ?trace:sink file r);
   (match (trace_out, sink) with
   | Some file, Some sink -> Obs.Export.write_file trace_fmt file sink
+  | _ -> ());
+  (match (metrics_out, r.Svm.Runtime.r_metrics) with
+  | Some file, Some m -> Obs.Export.write_metrics_csv file m
   | _ -> ());
   Format.printf "application : %s (%s)@." app.Apps.Registry.name app.Apps.Registry.description;
   Format.printf "protocol    : %s, %d nodes@." (Svm.Config.protocol_name protocol) nprocs;
@@ -145,13 +161,72 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
       (float_of_int (sum (fun c -> c.Svm.Stats.repl_bytes)) /. 1048576.0)
   end;
   if verify then Format.printf "verification: passed (results match the sequential reference)@.";
+  (match r.Svm.Runtime.r_metrics with
+  | Some m when metrics ->
+      Format.printf "@.metrics     : %g us buckets, %d intervals@." (Obs.Metrics.interval m)
+        (Obs.Metrics.buckets m);
+      List.iter
+        (fun (name, kind, _rows) ->
+          match Obs.Metrics.series_total m name with
+          | None -> ()
+          | Some tot ->
+              let label, value =
+                match kind with
+                | Obs.Metrics.Counter -> ("total", Array.fold_left ( +. ) 0. tot)
+                | Obs.Metrics.Gauge ->
+                    ("last", if Array.length tot = 0 then 0. else tot.(Array.length tot - 1))
+              in
+              Format.printf "  %-18s %s  %s %.0f@." name (Obs.Metrics.spark ~width:40 tot)
+                label value)
+        (Obs.Metrics.series m);
+      Format.printf "@.  latency (us)           count       p50       p90       p99       max@.";
+      List.iter
+        (fun (name, h) ->
+          let st = Obs.Metrics.histogram_stats h in
+          Format.printf "  %-20s %8d %9.0f %9.0f %9.0f %9.0f@." name st.Obs.Metrics.hs_count
+            st.Obs.Metrics.hs_p50 st.Obs.Metrics.hs_p90 st.Obs.Metrics.hs_p99
+            st.Obs.Metrics.hs_max)
+        (Obs.Metrics.histograms m);
+      let heats = Obs.Metrics.heatmaps m in
+      (match List.assoc_opt "page_faults" heats with
+      | Some fh ->
+          let by_heat =
+            List.sort
+              (fun (p1, v1) (p2, v2) -> if v1 = v2 then compare p1 p2 else compare v2 v1)
+              (Obs.Metrics.heatmap_entries fh)
+          in
+          let top = List.filteri (fun i _ -> i < 5) by_heat in
+          if top <> [] then begin
+            Format.printf "@.  hot pages (page: faults/diffs@@home):";
+            List.iter
+              (fun (page, v) ->
+                let cell name =
+                  Option.bind (List.assoc_opt name heats) (fun hm ->
+                      Obs.Metrics.heatmap_find hm page)
+                in
+                let diffs = Option.value ~default:0. (cell "page_diffs") in
+                match cell "page_home" with
+                | Some h ->
+                    Format.printf " %d:%.0f/%.0f@@%d" page v diffs (int_of_float h)
+                | None -> Format.printf " %d:%.0f/%.0f" page v diffs)
+              top;
+            Format.printf "@."
+          end
+      | None -> ())
+  | _ -> ());
   (match (critical_path, sink) with
   | Some cp, Some sink ->
       Format.printf "@.%s" (Obs.Critical_path.render cp);
-      if Obs.Trace.dropped sink > 0 then
+      if Obs.Trace.dropped sink > 0 then begin
+        let detail =
+          Obs.Trace.dropped_by_kind sink
+          |> List.map (fun (k, n) -> Printf.sprintf "%s %d" k n)
+          |> String.concat ", "
+        in
         Format.printf
-          "warning     : trace sink overflowed (%d events dropped; raise --trace-cap)@."
-          (Obs.Trace.dropped sink)
+          "warning     : trace sink overflowed (%d events dropped: %s; raise --trace-cap)@."
+          (Obs.Trace.dropped sink) detail
+      end
   | _ -> ());
   if breakdown then begin
     Format.printf "@.per-node breakdowns:@.";
@@ -312,11 +387,37 @@ let repl_scheme_arg =
   in
   Arg.(value & opt string "inval" & info [ "repl-scheme" ] ~docv:"SCHEME" ~doc)
 
+let metrics_arg =
+  let doc =
+    "Print the sampled-metrics summary: per-interval sparklines of every series, latency \
+     histogram percentiles, and the hottest pages of the fault/diff heatmap. Implies \
+     --metrics-interval 1000 unless one was given."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let metrics_interval_arg =
+  let doc =
+    "Sample the metrics flight recorder every $(docv) simulated microseconds: per-node \
+     traffic/fault counters, in-flight/event-set/memory gauges, latency histograms and \
+     page heatmaps, exported as the report JSON timeline block and via --metrics-out. 0 \
+     (the default) disables metrics entirely, keeping every output byte-identical to a \
+     run without the recorder."
+  in
+  Arg.(value & opt float 0.0 & info [ "metrics-interval" ] ~docv:"US" ~doc)
+
+let metrics_out_arg =
+  let doc =
+    "Write the metrics time series to $(docv) as long-format CSV \
+     (time_us,node,series,value; run-scope series use node -1). Implies \
+     --metrics-interval 1000 unless one was given."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
-let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 =
-  try run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 with
+let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 =
+  try run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
       exit 2
@@ -334,6 +435,7 @@ let cmd =
       $ trace_format_arg $ trace_cap_arg $ profile_arg $ drop_rate_arg $ dup_rate_arg
       $ jitter_arg $ straggler_arg $ fault_seed_arg $ fault_batch_arg $ kill_node_arg
       $ kill_at_arg $ detect_delay_arg $ pause_node_arg $ pause_at_arg $ resume_at_arg
-      $ replicas_arg $ repl_scheme_arg)
+      $ replicas_arg $ repl_scheme_arg $ metrics_arg $ metrics_interval_arg
+      $ metrics_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -72,9 +72,12 @@ type t = {
   fault_batch : int;
   replicas : int;
   repl_scheme : repl_scheme;
+  metrics_interval : float;
 }
 
 let chaos_enabled t = Machine.Chaos.enabled t.chaos
+
+let metrics_enabled t = t.metrics_interval > 0.
 
 let power_of_two n = n > 0 && n land (n - 1) = 0
 
@@ -83,7 +86,7 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
     ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none)
     ?(trace_cap = 1_000_000) ?(trace_spans = false) ?(fault_batch = 1) ?(replicas = 1)
-    ?(repl_scheme = Inval) ~nprocs protocol =
+    ?(repl_scheme = Inval) ?(metrics_interval = 0.) ~nprocs protocol =
   if nprocs <= 0 then
     invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
   if not (power_of_two page_words) then
@@ -104,6 +107,9 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
   if fault_batch < 1 then
     invalid_arg
       (Printf.sprintf "Config.make: fault_batch must be at least 1 (got %d)" fault_batch);
+  if not (metrics_interval >= 0.) then
+    invalid_arg
+      (Printf.sprintf "Config.make: metrics_interval must be >= 0 (got %g)" metrics_interval);
   (match Machine.Chaos.validate chaos with
   | Ok () -> ()
   | Error e -> invalid_arg ("Config.make: " ^ e));
@@ -154,4 +160,5 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     fault_batch;
     replicas;
     repl_scheme;
+    metrics_interval;
   }

@@ -128,16 +128,25 @@ type t = {
           behave identically there). *)
   repl_scheme : repl_scheme;
       (** Backup-consistency scheme, meaningful when [replicas] > 1. *)
+  metrics_interval : float;
+      (** Time-bucket width (simulated microseconds) of the sampled metrics
+          flight recorder ([--metrics-interval US]). 0 (the default)
+          disables metrics entirely: no registry is created, no sampler
+          events are scheduled, and every output stays byte-identical to a
+          build without the metrics machinery. *)
 }
 
 (** Whether this configuration injects any faults (see
     {!Machine.Chaos.enabled}). *)
 val chaos_enabled : t -> bool
 
+(** Whether the metrics flight recorder is on ([metrics_interval] > 0). *)
+val metrics_enabled : t -> bool
+
 (** Raises [Invalid_argument] with a descriptive message when a knob is out
     of range: [nprocs], [gc_threshold_bytes], [au_combine_words] or
     [trace_cap] non-positive, [page_words] not a positive power of two,
-    [fault_batch] < 1, an invalid chaos plan (rates outside [0, 1],
+    [fault_batch] < 1, [metrics_interval] negative, an invalid chaos plan (rates outside [0, 1],
     negative jitter, straggler < 1, malformed kill/pause schedule, or a
     kill/pause node out of range — killing node 0, the lock/barrier
     manager, is rejected), [replicas] outside [1, nprocs], or [replicas]
@@ -158,6 +167,7 @@ val make :
   ?fault_batch:int ->
   ?replicas:int ->
   ?repl_scheme:repl_scheme ->
+  ?metrics_interval:float ->
   nprocs:int ->
   protocol ->
   t

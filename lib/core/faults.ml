@@ -663,6 +663,7 @@ let make_writable sys node page =
 let read_fault sys node page k =
   let c = costs sys in
   charge_protocol node c.Machine.Costs.page_fault;
+  System.metrics_fault sys node page;
   block sys node ~resource:page Wait_data k;
   let finish () =
     node.fault_page <- -1;
@@ -679,6 +680,7 @@ let read_fault sys node page k =
 let write_fault sys node page k =
   let c = costs sys in
   charge_protocol node c.Machine.Costs.page_fault;
+  System.metrics_fault sys node page;
   node.stats.Stats.c.Stats.write_faults <- node.stats.Stats.c.Stats.write_faults + 1;
   block sys node ~resource:page Wait_data k;
   let entry = Mem.Page_table.ensure node.pt page in

@@ -144,6 +144,7 @@ let end_interval sys node =
             let diff = Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry) in
             node.stats.Stats.c.Stats.diffs_created <-
               node.stats.Stats.c.Stats.diffs_created + 1;
+            System.metrics_diff sys page;
             event sys node (Mem.Diff.created_event diff);
             let done_t = local_protocol_work sys node ~cost:(diff_create_cost c ~page_words) in
             Mem.Page_table.drop_twin entry;
@@ -231,6 +232,7 @@ let end_interval sys node =
                      in
                      node.stats.Stats.c.Stats.diffs_created <-
                        node.stats.Stats.c.Stats.diffs_created + 1;
+                     System.metrics_diff sys page;
                      event sys node (Mem.Diff.created_event diff);
                      let done_t =
                        local_protocol_work sys node ~cost:(diff_create_cost c ~page_words)
@@ -255,6 +257,7 @@ let end_interval sys node =
               in
               node.stats.Stats.c.Stats.diffs_created <-
                 node.stats.Stats.c.Stats.diffs_created + 1;
+              System.metrics_diff sys page;
               event sys node (Mem.Diff.created_event diff);
               let done_t =
                 local_protocol_work sys node ~cost:(diff_create_cost c ~page_words)
@@ -292,6 +295,7 @@ let end_interval sys node =
             let diff = Mem.Diff.create ~page ~twin ~current:(Mem.Page_table.data_exn entry) in
             node.stats.Stats.c.Stats.diffs_created <-
               node.stats.Stats.c.Stats.diffs_created + 1;
+            System.metrics_diff sys page;
             event sys node (Mem.Diff.created_event diff);
             ignore (local_protocol_work sys node ~cost:(diff_create_cost c ~page_words));
             Mem.Page_table.drop_twin entry;

@@ -149,10 +149,32 @@ let node_json ~chaos ~batching ~repl ~kill (n : Runtime.node_report) =
 let sum_counter (r : Runtime.report) field =
   Array.fold_left (fun acc n -> acc + field n.Runtime.nr_counters) 0 r.Runtime.r_nodes
 
-(* The optional sections ([?critical_path], [?trace]) append to the
-   document only when the caller passes them, so a report produced without
-   the profiler stays byte-identical to the pre-profiler schema. *)
-let encode ?critical_path ?trace (r : Runtime.report) =
+(* Run metadata: what the CLI was asked to do, so an archived report is
+   self-describing without its invocation. The driver-level facts (app
+   name, scale) cannot be derived from the Config; the rest duplicates the
+   CLI-relevant Config fields for one-stop reading. *)
+type run_meta = { rm_app : string; rm_scale : string }
+
+let meta_json (m : run_meta) (cfg : Config.t) =
+  Obj
+    [
+      ("app", String m.rm_app);
+      ("scale", String m.rm_scale);
+      ("protocol", String (String.lowercase_ascii (Config.protocol_name cfg.protocol)));
+      ("nprocs", Int cfg.nprocs);
+      ("seed", Int cfg.seed);
+      ("fault_seed", Int cfg.chaos.Machine.Chaos.fault_seed);
+      ("fault_batch", Int cfg.fault_batch);
+      ("replicas", Int cfg.replicas);
+      ("repl_scheme", String (Config.repl_scheme_name cfg.repl_scheme));
+      ("metrics_interval_us", f cfg.metrics_interval);
+    ]
+
+(* The optional sections ([?meta], [?critical_path], [?trace], and the
+   [timeline] block driven by [r_metrics]) append to the document only when
+   present, so a report produced without them stays byte-identical to the
+   earlier schemas. *)
+let encode ?meta ?critical_path ?trace (r : Runtime.report) =
   let chaos = Config.chaos_enabled r.r_config in
   let batching = r.r_config.Config.fault_batch > 1 in
   let repl = r.r_config.Config.replicas > 1 in
@@ -173,14 +195,12 @@ let encode ?critical_path ?trace (r : Runtime.report) =
   let availability_totals =
     if not kill then []
     else begin
-      (* [r_failover_stalls] is sorted ascending; the nearest-rank p99. *)
+      (* [r_failover_stalls] is sorted ascending, as {!Stats.quantile}
+         (nearest-rank) requires. *)
       let stalls = Array.of_list r.r_failover_stalls in
       let n = Array.length stalls in
       let total = Array.fold_left ( +. ) 0. stalls in
-      let pct p =
-        if n = 0 then 0.
-        else stalls.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
-      in
+      let pct p = Stats.quantile stalls p in
       [
         ( "availability",
           Obj
@@ -218,6 +238,11 @@ let encode ?critical_path ?trace (r : Runtime.report) =
   Obj
     ([
       ("schema_version", Int schema_version);
+    ]
+    @ (match meta with
+      | None -> []
+      | Some m -> [ ("meta", meta_json m r.r_config) ])
+    @ [
       ("config", config_json r.r_config);
       ("elapsed_us", f r.r_elapsed);
       ("shared_bytes", Int r.r_shared_bytes);
@@ -235,31 +260,44 @@ let encode ?critical_path ?trace (r : Runtime.report) =
       ( "nodes",
         List (Array.to_list (Array.map (node_json ~chaos ~batching ~repl ~kill) r.r_nodes)) );
     ]
+    @ (match r.r_metrics with
+      | None -> []
+      | Some m -> [ ("timeline", Obs.Metrics.to_json m) ])
     @ (match trace with
       | None -> []
       | Some sink ->
           [
             ( "trace",
               Obj
-                [
-                  ("events", Int (Obs.Trace.length sink));
-                  ("dropped", Int (Obs.Trace.dropped sink));
-                  ("capacity", Int (Obs.Trace.capacity sink));
-                ] );
+                ([
+                   ("events", Int (Obs.Trace.length sink));
+                   ("dropped", Int (Obs.Trace.dropped sink));
+                 ]
+                @ (if Obs.Trace.dropped sink > 0 then
+                     [
+                       ( "dropped_by_kind",
+                         Obj
+                           (List.map
+                              (fun (k, n) -> (k, Int n))
+                              (Obs.Trace.dropped_by_kind sink)) );
+                     ]
+                   else [])
+                @ [ ("capacity", Int (Obs.Trace.capacity sink)) ]) );
           ])
     @
     match critical_path with
     | None -> []
     | Some cp -> [ ("critical_path", Obs.Critical_path.to_json cp) ])
 
-let to_string ?critical_path ?trace r = to_string_pretty (encode ?critical_path ?trace r)
+let to_string ?meta ?critical_path ?trace r =
+  to_string_pretty (encode ?meta ?critical_path ?trace r)
 
-let write ?critical_path ?trace file r =
+let write ?meta ?critical_path ?trace file r =
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc (to_string ?critical_path ?trace r);
+      output_string oc (to_string ?meta ?critical_path ?trace r);
       output_char oc '\n')
 
 (* --- validation ------------------------------------------------------- *)
@@ -399,6 +437,111 @@ let check_chaos_totals totals =
       let* _ = want_string "totals.chaos" ch "mem_digest" in
       Ok ()
 
+(* The metadata block is optional — drivers pass it, library callers may
+   not — but when present it must have the right shape. *)
+let check_meta j =
+  match member "meta" j with
+  | None -> Ok ()
+  | Some m ->
+      let* _ = want_string "meta" m "app" in
+      let* _ = want_string "meta" m "scale" in
+      let* proto = want_string "meta" m "protocol" in
+      if not (List.mem proto Config.protocol_strings) then
+        fail "meta.protocol: unknown protocol %S" proto
+      else
+        let* nprocs = want_int "meta" m "nprocs" in
+        if nprocs <= 0 then fail "meta.nprocs: must be positive (got %d)" nprocs
+        else
+          let* () =
+            each
+              (fun name -> Result.map ignore (want_int "meta" m name))
+              [ "seed"; "fault_seed"; "fault_batch"; "replicas" ]
+          in
+          let* scheme = want_string "meta" m "repl_scheme" in
+          if not (List.mem scheme Config.repl_scheme_strings) then
+            fail "meta.repl_scheme: unknown scheme %S" scheme
+          else
+            let* _ = want_num "meta" m "metrics_interval_us" in
+            Ok ()
+
+(* The timeline block is optional — present only on [--metrics-interval]
+   runs — but when present every series row must be exactly [buckets]
+   wide and the histograms/heatmaps must have their full shape. *)
+let check_timeline j =
+  match member "timeline" j with
+  | None -> Ok ()
+  | Some tl ->
+      let* _ = want_num "timeline" tl "interval_us" in
+      let* buckets = want_int "timeline" tl "buckets" in
+      if buckets < 0 then fail "timeline.buckets: negative (%d)" buckets
+      else
+        let* series = want_list "timeline" tl "series" in
+        let* () =
+          each
+            (fun sr ->
+              let* name = want_string "timeline.series" sr "name" in
+              let* kind = want_string "timeline.series" sr "kind" in
+              if kind <> "counter" && kind <> "gauge" then
+                fail "timeline.series[%s].kind: unknown kind %S" name kind
+              else
+                let* _ = want_bool "timeline.series" sr "per_node" in
+                let* rows = want_list "timeline.series" sr "rows" in
+                each
+                  (fun row ->
+                    match to_list row with
+                    | Some vs when List.length vs = buckets -> Ok ()
+                    | Some vs ->
+                        fail "timeline.series[%s]: row has %d values but %d buckets" name
+                          (List.length vs) buckets
+                    | None -> fail "timeline.series[%s]: rows must be lists" name)
+                  rows)
+            series
+        in
+        let* hists = want_list "timeline" tl "histograms" in
+        let* () =
+          each
+            (fun h ->
+              let* name = want_string "timeline.histograms" h "name" in
+              let* count = want_int "timeline.histograms" h "count" in
+              let* () =
+                each
+                  (fun fld -> Result.map ignore (want_num "timeline.histograms" h fld))
+                  [ "sum"; "max"; "p50"; "p90"; "p99" ]
+              in
+              let* bs = want_list "timeline.histograms" h "buckets" in
+              let* () =
+                each
+                  (fun b ->
+                    let* _ = want_num "timeline.histograms.buckets" b "le" in
+                    Result.map ignore (want_int "timeline.histograms.buckets" b "count"))
+                  bs
+              in
+              let total =
+                List.fold_left
+                  (fun acc b ->
+                    match Option.bind (member "count" b) to_int with
+                    | Some n -> acc + n
+                    | None -> acc)
+                  0 bs
+              in
+              if total <> count then
+                fail "timeline.histograms[%s]: bucket counts sum to %d, count says %d" name
+                  total count
+              else Ok ())
+            hists
+        in
+        let* heats = want_list "timeline" tl "heatmaps" in
+        each
+          (fun hm ->
+            let* _ = want_string "timeline.heatmaps" hm "name" in
+            let* pages = want_list "timeline.heatmaps" hm "pages" in
+            each
+              (fun pg ->
+                let* _ = want_int "timeline.heatmaps.pages" pg "page" in
+                Result.map ignore (want_num "timeline.heatmaps.pages" pg "value"))
+              pages)
+          heats
+
 (* Profiler sections are optional — present only when the run was profiled
    — but when present they must have the right shape. *)
 let check_trace_section j =
@@ -471,6 +614,8 @@ let validate j =
           fail "report.nodes: %d entries but config.nprocs = %d" (List.length nodes) nprocs
         else
           let* () = each (fun (i, n) -> check_node i n) (List.mapi (fun i n -> (i, n)) nodes) in
+          let* () = check_meta j in
+          let* () = check_timeline j in
           let* () = check_trace_section j in
           let* () = check_critical_path j in
           Ok ()

@@ -10,21 +10,39 @@
 
 val schema_version : int
 
-(** [encode ?critical_path ?trace r] — the optional sections appear in the
-    document only when passed: [critical_path] (see
-    {!Obs.Critical_path.to_json}) and [trace] (sink occupancy: [events],
-    [dropped], [capacity] — how much of the trace survived the bounded
-    sink). A report encoded without them is byte-identical to the
-    pre-profiler schema. *)
+(** Run metadata a driver knows but the {!Config} does not: the application
+    name and problem scale. Passed by the CLIs so archived reports are
+    self-describing; the emitted [meta] block also duplicates the
+    CLI-relevant Config fields (protocol, nprocs, seeds, fault batch,
+    replication, metrics cadence). *)
+type run_meta = { rm_app : string; rm_scale : string }
+
+(** [encode ?meta ?critical_path ?trace r] — the optional sections appear
+    in the document only when present: [meta] (run metadata block),
+    [critical_path] (see {!Obs.Critical_path.to_json}), [trace] (sink
+    occupancy: [events], [dropped] — with a [dropped_by_kind] breakdown
+    when nonzero — and [capacity]), and a [timeline] block (see
+    {!Obs.Metrics.to_json}) when the run recorded metrics
+    ([r.r_metrics]). A report encoded without them is byte-identical to
+    the earlier schemas. *)
 val encode :
-  ?critical_path:Obs.Critical_path.t -> ?trace:Obs.Trace.sink -> Runtime.report -> Obs.Json.t
+  ?meta:run_meta ->
+  ?critical_path:Obs.Critical_path.t ->
+  ?trace:Obs.Trace.sink ->
+  Runtime.report ->
+  Obs.Json.t
 
 (** Pretty serialization of {!encode} (deterministic; see {!Obs.Json}). *)
 val to_string :
-  ?critical_path:Obs.Critical_path.t -> ?trace:Obs.Trace.sink -> Runtime.report -> string
+  ?meta:run_meta ->
+  ?critical_path:Obs.Critical_path.t ->
+  ?trace:Obs.Trace.sink ->
+  Runtime.report ->
+  string
 
 (** Write the report to [file]. *)
 val write :
+  ?meta:run_meta ->
   ?critical_path:Obs.Critical_path.t ->
   ?trace:Obs.Trace.sink ->
   string ->
@@ -32,8 +50,10 @@ val write :
   unit
 
 (** Structural schema check of a parsed report: version, config, totals,
-    and the per-node records all present with the right shapes. Returns
-    a description of the first violation. *)
+    the per-node records, and — when present — the optional [meta],
+    [timeline], [trace] and [critical_path] sections, all with the right
+    shapes (timeline rows exactly [buckets] wide, histogram bucket counts
+    summing to [count]). Returns a description of the first violation. *)
 val validate : Obs.Json.t -> (unit, string) result
 
 (** The headline counters the regression gate compares, from a schema-valid

@@ -20,6 +20,8 @@ type report = {
   r_transport : transport_report option;
   r_failover_stalls : float list;
       (* per re-routed fetch: resume time minus failover time, ascending *)
+  r_metrics : Obs.Metrics.t option;
+      (* the sampled flight recorder, iff metrics_interval > 0 *)
 }
 
 let start_process sys (node : System.node_state) app =
@@ -242,12 +244,46 @@ let collect sys =
               tr_gave_up = Machine.Transport.gave_up_count tr;
             });
     r_failover_stalls = List.sort compare sys.System.failover_stalls;
+    r_metrics = System.metrics_registry sys;
   }
 
 let run ?trace ?sink cfg app =
   let sys = System.create cfg in
   sys.System.trace <- trace;
   sys.System.sink <- sink;
+  if Config.metrics_enabled cfg then begin
+    let interval = cfg.Config.metrics_interval in
+    let reg =
+      Obs.Metrics.create ~interval ~nnodes:cfg.Config.nprocs
+    in
+    System.install_metrics sys reg;
+    (* Gauge sampler on the metrics cadence. Self-rescheduling events would
+       keep the engine spinning forever (killed nodes never finish, and the
+       deadlock watchdog relies on the queue draining), so a tick re-arms
+       only while some live process is unfinished AND the run is moving:
+       either events beyond this tick are already pending, or some executed
+       since the previous tick. On quiescence the sampler stops and the
+       watchdog sees exactly the drained queue it expects. *)
+    let last_executed = ref 0 in
+    let rec tick k () =
+      let time = float_of_int k *. interval in
+      System.sample_metrics sys ~time;
+      let executed = Sim.Engine.executed sys.System.engine in
+      let progressed = executed - !last_executed > 1 in
+      last_executed := executed;
+      let live_unfinished =
+        Array.exists
+          (fun (n : System.node_state) ->
+            (not n.System.finished) && System.is_alive sys n.System.id)
+          sys.System.nodes
+      in
+      if live_unfinished && (progressed || Sim.Engine.pending sys.System.engine > 0) then
+        Sim.Engine.schedule sys.System.engine
+          ~at:(float_of_int (k + 1) *. interval)
+          (tick (k + 1))
+    in
+    Sim.Engine.schedule sys.System.engine ~at:interval (tick 1)
+  end;
   Array.iter
     (fun node ->
       Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))
@@ -290,6 +326,9 @@ let run ?trace ?sink cfg app =
         (Obs.Trace.Watchdog_stall { blocked; inflight });
     raise (System.Deadlock (stall_dump sys))
   end;
+  (* Close the timeline: one last gauge sample at the run's end time, so
+     the final bucket reflects the drained state. *)
+  System.sample_metrics sys ~time:(System.now sys);
   collect sys
 
 let mean_compute r =

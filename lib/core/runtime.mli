@@ -36,6 +36,12 @@ type report = {
   r_failover_stalls : float list;
       (** Recovery stall of each fetch re-routed by a failover (resume time
           minus failover time), sorted ascending; empty without a kill. *)
+  r_metrics : Obs.Metrics.t option;
+      (** The sampled metrics flight recorder, [Some] iff the run was
+          configured with [metrics_interval] > 0 (note the sampler's cadence
+          events inflate [r_events] relative to a metrics-off run; every
+          simulated outcome — elapsed, counters, memory digest — is
+          unchanged). *)
 }
 
 (** Total computation time across nodes divided by node count: with one

@@ -164,6 +164,15 @@ let epoch_deltas t =
   in
   deltas (breakdown_zero ()) snaps
 
+(* Nearest-rank quantile: the smallest element with cumulative rank >=
+   ceil (p * n), i.e. sorted.(ceil (p*n) - 1) with the index clamped into
+   [0, n-1]. No interpolation: the result is always an observed value, and
+   p = 1.0 is the maximum. 0 on the empty array. *)
+let quantile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+
 let pp_breakdown ppf b =
   Format.fprintf ppf
     "@[<h>compute=%.0f data=%.0f lock=%.0f barrier=%.0f proto=%.0f gc=%.0f@]"

@@ -141,6 +141,33 @@ type recovery = {
   mutable rc_outstanding : int;  (* writer replies still awaited *)
 }
 
+(* Pre-registered instruments of the metrics flight recorder (see
+   [Obs.Metrics]), built by [install_metrics] when the run asked for
+   [--metrics-interval]. Registration happens once, in a fixed order, so
+   serializations are deterministic; every hot-path hook below is a single
+   [match] on the option when metrics are off. *)
+type metrics_set = {
+  ms_reg : Obs.Metrics.t;
+  ms_messages : Obs.Metrics.counter;
+  ms_update_bytes : Obs.Metrics.counter;
+  ms_protocol_bytes : Obs.Metrics.counter;
+  ms_faults : Obs.Metrics.counter;
+  ms_retransmits : Obs.Metrics.counter;
+  ms_drops : Obs.Metrics.counter;
+  ms_repl_bytes : Obs.Metrics.counter;
+  ms_inflight : Obs.Metrics.gauge;
+  ms_pending : Obs.Metrics.gauge;
+  ms_proto_mem : Obs.Metrics.gauge;
+  ms_fetch_us : Obs.Metrics.histogram;
+  ms_lock_us : Obs.Metrics.histogram;
+  ms_barrier_us : Obs.Metrics.histogram;
+  ms_backoff_us : Obs.Metrics.histogram;
+  ms_stall_us : Obs.Metrics.histogram;
+  ms_fault_heat : Obs.Metrics.heatmap;
+  ms_diff_heat : Obs.Metrics.heatmap;
+  ms_home_heat : Obs.Metrics.heatmap;
+}
+
 type t = {
   cfg : Config.t;
   layout : Mem.Layout.t;
@@ -192,6 +219,9 @@ type t = {
   mutable transport : Machine.Transport.t option;
       (* reliable transport over the chaotic network; installed iff [chaos]
          is, so the fault-free send path is untouched *)
+  mutable metrics : metrics_set option;
+      (* sampled flight recorder; installed iff [metrics_interval] > 0, so
+         default runs carry no metrics code on any path *)
 }
 
 (* The effects through which application processes enter the runtime. Only
@@ -273,17 +303,25 @@ let transport_notify t ~time (n : Machine.Transport.notice) =
       let peer = if ack then src else dst in
       let c = t.nodes.(sender).stats.Stats.c in
       c.Stats.msg_drops <- c.Stats.msg_drops + 1;
+      (match t.metrics with
+      | Some ms -> Obs.Metrics.add ms.ms_drops ~node:sender ~time 1.
+      | None -> ());
       if observing t then
         event_at t ~node:sender ~time (Obs.Trace.Msg_drop { dst = peer; seq; bytes; ack })
   | Machine.Transport.Duplicated _ ->
       (* The observable effect is the receiver-side [Dup_dropped]. *)
       ()
-  | Machine.Transport.Retransmit { src; dst; seq; retries; bytes } ->
+  | Machine.Transport.Retransmit { src; dst; seq; retries; bytes; rto } ->
       let c = t.nodes.(src).stats.Stats.c in
       c.Stats.msg_retransmits <- c.Stats.msg_retransmits + 1;
       c.Stats.messages <- c.Stats.messages + 1;
       c.Stats.protocol_bytes <-
         c.Stats.protocol_bytes + bytes + Machine.Transport.seq_bytes;
+      (match t.metrics with
+      | Some ms ->
+          Obs.Metrics.add ms.ms_retransmits ~node:src ~time 1.;
+          Obs.Metrics.observe ms.ms_backoff_us rto
+      | None -> ());
       if observing t then
         event_at t ~node:src ~time (Obs.Trace.Msg_retransmit { dst; seq; retries })
   | Machine.Transport.Dup_dropped { src; dst; seq } ->
@@ -406,6 +444,7 @@ let create (cfg : Config.t) =
       recovering = Hashtbl.create 8;
       chaos;
       transport = None;
+      metrics = None;
     }
   in
   (match chaos with
@@ -437,6 +476,99 @@ let homeless_lazy t =
   | Config.Hlrc | Config.Ohlrc | Config.Aurc | Config.Rc -> false
 
 let now t = Sim.Engine.now t.engine
+
+(* ------------------------------------------------------------------ *)
+(* Metrics flight recorder ([--metrics-interval]; see Obs.Metrics)     *)
+
+(* Build and install the instrument set into [reg]. Registration order is
+   the serialization order of the timeline block and the CSV, so keep it
+   fixed. *)
+let install_metrics t reg =
+  let open Obs.Metrics in
+  (* Sequential lets, not a record literal: record fields evaluate in an
+     unspecified order, and registration order is the serialization
+     order. *)
+  let ms_messages = counter reg "messages" in
+  let ms_update_bytes = counter reg "update_bytes" in
+  let ms_protocol_bytes = counter reg "protocol_bytes" in
+  let ms_faults = counter reg "faults" in
+  let ms_retransmits = counter reg "retransmits" in
+  let ms_drops = counter reg "drops" in
+  let ms_repl_bytes = counter reg "repl_bytes" in
+  let ms_inflight = gauge ~per_node:false reg "inflight_packets" in
+  let ms_pending = gauge ~per_node:false reg "engine_events" in
+  let ms_proto_mem = gauge reg "proto_mem_bytes" in
+  let ms_fetch_us = histogram reg "page_fetch_us" in
+  let ms_lock_us = histogram reg "lock_acquire_us" in
+  let ms_barrier_us = histogram reg "barrier_wait_us" in
+  let ms_backoff_us = histogram reg "retransmit_backoff_us" in
+  let ms_stall_us = histogram reg "recovery_stall_us" in
+  let ms_fault_heat = heatmap reg "page_faults" in
+  let ms_diff_heat = heatmap reg "page_diffs" in
+  let ms_home_heat = heatmap reg "page_home" in
+  t.metrics <-
+    Some
+      {
+        ms_reg = reg;
+        ms_messages;
+        ms_update_bytes;
+        ms_protocol_bytes;
+        ms_faults;
+        ms_retransmits;
+        ms_drops;
+        ms_repl_bytes;
+        ms_inflight;
+        ms_pending;
+        ms_proto_mem;
+        ms_fetch_us;
+        ms_lock_us;
+        ms_barrier_us;
+        ms_backoff_us;
+        ms_stall_us;
+        ms_fault_heat;
+        ms_diff_heat;
+        ms_home_heat;
+      }
+
+let metrics_registry t = Option.map (fun ms -> ms.ms_reg) t.metrics
+
+(* One cadence tick of the gauges: transport in-flight packets, engine
+   event-set size, per-node live protocol memory. Driven by the runtime's
+   sampler (and once at the end of the run). *)
+let sample_metrics t ~time =
+  match t.metrics with
+  | None -> ()
+  | Some ms ->
+      let inflight =
+        match t.transport with
+        | Some tr -> Machine.Transport.inflight_count tr
+        | None -> 0
+      in
+      Obs.Metrics.sample ms.ms_inflight ~node:0 ~time (float_of_int inflight);
+      Obs.Metrics.sample ms.ms_pending ~node:0 ~time
+        (float_of_int (Sim.Engine.pending t.engine));
+      Array.iter
+        (fun node ->
+          Obs.Metrics.sample ms.ms_proto_mem ~node:node.id ~time
+            (float_of_int (Mem.Accounting.current node.stats.Stats.proto_mem)))
+        t.nodes
+
+(* Page-fault hook (entry of Faults.read_fault/write_fault): per-node fault
+   rate plus the per-page heatmap. *)
+let metrics_fault t node page =
+  match t.metrics with
+  | None -> ()
+  | Some ms ->
+      Obs.Metrics.add ms.ms_faults ~node:node.id
+        ~time:node.mach.Machine.Node.ck.Machine.Node.clock 1.;
+      Obs.Metrics.hit ms.ms_fault_heat ~page 1.
+
+(* Diff-creation hook (Intervals): the other half of the heatmap — a page
+   hot in faults *and* diffs under a fine interleaving is false sharing. *)
+let metrics_diff t page =
+  match t.metrics with
+  | None -> ()
+  | Some ms -> Obs.Metrics.hit ms.ms_diff_heat ~page 1.
 
 (* ------------------------------------------------------------------ *)
 (* Structured observability ([observing]/[event_at] live above [create]) *)
@@ -562,6 +694,13 @@ let send t ~src ~dst ~at ~bytes ~update handler =
     c.Stats.messages <- c.Stats.messages + 1;
     c.Stats.update_bytes <- c.Stats.update_bytes + update;
     c.Stats.protocol_bytes <- c.Stats.protocol_bytes + (bytes - update);
+    (match t.metrics with
+    | Some ms ->
+        Obs.Metrics.add ms.ms_messages ~node:src.id ~time:at 1.;
+        Obs.Metrics.add ms.ms_update_bytes ~node:src.id ~time:at (float_of_int update);
+        Obs.Metrics.add ms.ms_protocol_bytes ~node:src.id ~time:at
+          (float_of_int (bytes - update))
+    | None -> ());
     if observing t then
       event_at t ~node:src.id ~time:at (Obs.Trace.Msg_send { dst; bytes; update })
   end;
@@ -694,15 +833,27 @@ let resume t node ~at =
       | Wait_lock -> b.Stats.lock <- b.Stats.lock +. wait
       | Wait_barrier -> b.Stats.barrier <- b.Stats.barrier +. wait
       | Wait_gc -> b.Stats.gc <- b.Stats.gc +. wait);
+      (match t.metrics with
+      | Some ms -> (
+          match kind with
+          | Wait_data -> Obs.Metrics.observe ms.ms_fetch_us wait
+          | Wait_lock -> Obs.Metrics.observe ms.ms_lock_us wait
+          | Wait_barrier -> Obs.Metrics.observe ms.ms_barrier_us wait
+          | Wait_gc -> ())
+      | None -> ());
       span_end t ~node:node.id ~time:node.mach.Machine.Node.ck.Machine.Node.clock ~span:node.wait_span
         ~bucket:(bucket_of_kind kind) ~resource:node.wait_resource;
       node.wait_span <- -1;
       if node.stall_mark >= 0. then begin
         (* This wait crossed a failover: the time since the failover fired
            is the recovery stall this fetch actually suffered. *)
-        t.failover_stalls <-
+        let stall =
           Float.max 0. (node.mach.Machine.Node.ck.Machine.Node.clock -. node.stall_mark)
-          :: t.failover_stalls;
+        in
+        t.failover_stalls <- stall :: t.failover_stalls;
+        (match t.metrics with
+        | Some ms -> Obs.Metrics.observe ms.ms_stall_us stall
+        | None -> ());
         node.stall_mark <- -1.
       end;
       let at' = Float.max (now t) node.mach.Machine.Node.ck.Machine.Node.clock in
@@ -770,6 +921,10 @@ let malloc t node ?name ?home_map ?(scratch = false) words =
           | Config.Allocator -> node.id)
     in
     Hashtbl.replace t.home_tbl page (home mod nprocs t);
+    (match t.metrics with
+    | Some ms ->
+        Obs.Metrics.set ms.ms_home_heat ~page (float_of_int (home mod nprocs t))
+    | None -> ());
     if t.cfg.Config.replicas > 1 then begin
       (* Rank-ordered replica set: the home, then the next node ids. The
          failure detector promotes the first live rank on a crash. *)
@@ -907,6 +1062,11 @@ let propagate_update t prim ~page ~writer ~index ~diff ~vt ~at ~payload =
               if observing t then
                 event_at t ~node:prim.id ~time:at
                   (Obs.Trace.Repl_update { page; dst = r; bytes });
+              (match t.metrics with
+              | Some ms ->
+                  Obs.Metrics.add ms.ms_repl_bytes ~node:prim.id ~time:at
+                    (float_of_int bytes)
+              | None -> ());
               send t ~src:prim ~dst:r ~at ~bytes ~update:0 (fun arrival ->
                   deliver_repl_update t t.nodes.(r) ~arrival ~page ~writer ~index diff)
             end
@@ -925,6 +1085,11 @@ let propagate_update t prim ~page ~writer ~index ~diff ~vt ~at ~payload =
               if observing t then
                 event_at t ~node:prim.id ~time:at
                   (Obs.Trace.Repl_update { page; dst = r; bytes });
+              (match t.metrics with
+              | Some ms ->
+                  Obs.Metrics.add ms.ms_repl_bytes ~node:prim.id ~time:at
+                    (float_of_int bytes)
+              | None -> ());
               send t ~src:prim ~dst:r ~at ~bytes ~update:0 (fun arrival ->
                   let backup = t.nodes.(r) in
                   ignore (serve t backup ~arrival ~cost:2.);
@@ -937,6 +1102,11 @@ let propagate_update t prim ~page ~writer ~index ~diff ~vt ~at ~payload =
             else begin
               c.Stats.repl_invals <- c.Stats.repl_invals + 1;
               c.Stats.repl_bytes <- c.Stats.repl_bytes + header_bytes;
+              (match t.metrics with
+              | Some ms ->
+                  Obs.Metrics.add ms.ms_repl_bytes ~node:prim.id ~time:at
+                    (float_of_int header_bytes)
+              | None -> ());
               if observing t then
                 event_at t ~node:prim.id ~time:at (Obs.Trace.Repl_inval { page; dst = r });
               send t ~src:prim ~dst:r ~at ~bytes:header_bytes ~update:0 (fun arrival ->
@@ -961,6 +1131,11 @@ let propagate_archive t writer ~page ~index ~diff ~vt ~at =
             let bytes = header_bytes + Mem.Diff.size_bytes diff in
             c.Stats.repl_updates <- c.Stats.repl_updates + 1;
             c.Stats.repl_bytes <- c.Stats.repl_bytes + bytes;
+            (match t.metrics with
+            | Some ms ->
+                Obs.Metrics.add ms.ms_repl_bytes ~node:writer.id ~time:at
+                  (float_of_int bytes)
+            | None -> ());
             if observing t then
               event_at t ~node:writer.id ~time:at
                 (Obs.Trace.Repl_update { page; dst = r; bytes });

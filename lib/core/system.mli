@@ -134,6 +134,11 @@ type recovery = {
   mutable rc_outstanding : int;  (** Writer replies still awaited. *)
 }
 
+(** Pre-registered instrument handles of the metrics flight recorder
+    ([--metrics-interval]); opaque — built by {!install_metrics}, read back
+    through {!metrics_registry} and the recording hooks below. *)
+type metrics_set
+
 type t = {
   cfg : Config.t;
   layout : Mem.Layout.t;
@@ -170,6 +175,9 @@ type t = {
   mutable transport : Machine.Transport.t option;
       (** Reliable transport over the chaotic network; installed iff [chaos]
           is, so fault-free runs use the pre-chaos send path unchanged. *)
+  mutable metrics : metrics_set option;
+      (** Sampled flight recorder; installed iff [metrics_interval] > 0, so
+          default runs carry no metrics work on any path. *)
 }
 
 (** The effects through which application processes enter the runtime; only
@@ -209,6 +217,29 @@ val homeless_lazy : t -> bool
 
 (** Current simulated time. *)
 val now : t -> float
+
+(** [install_metrics t reg] registers the full instrument set (traffic,
+    fault and replication counters; in-flight/event-set/protocol-memory
+    gauges; the five latency histograms; fault/diff/home page heatmaps)
+    into [reg] and arms every recording hook. Call before the run starts. *)
+val install_metrics : t -> Obs.Metrics.t -> unit
+
+(** The registry handed to {!install_metrics}, if any. *)
+val metrics_registry : t -> Obs.Metrics.t option
+
+(** Sample the gauges (transport in-flight packets, engine event-set size,
+    per-node protocol memory) at simulated [time]. No-op when metrics are
+    off. *)
+val sample_metrics : t -> time:float -> unit
+
+(** Record a page fault on [node] for the per-node fault series and the
+    page heatmap (called at the entry of [Faults.read_fault] /
+    [write_fault]). No-op when metrics are off. *)
+val metrics_fault : t -> node_state -> int -> unit
+
+(** Record a diff creation against a page for the diff heatmap. No-op when
+    metrics are off. *)
+val metrics_diff : t -> int -> unit
 
 (** {1 Structured observability}
 

@@ -20,18 +20,21 @@ type t = {
   sink : Obs.Trace.sink option;
   chaos : Machine.Chaos.params;
   fault_batch : int;
+  metrics_interval : float;
   cache : (key, Svm.Runtime.report) Hashtbl.t;
   mu : Mutex.t;  (* guards [cache] and serializes [progress] calls *)
   mutable progress : (string -> unit) option;
 }
 
-let create ?(verify = true) ?sink ?(chaos = Machine.Chaos.none) ?(fault_batch = 1) ~scale () =
+let create ?(verify = true) ?sink ?(chaos = Machine.Chaos.none) ?(fault_batch = 1)
+    ?(metrics_interval = 0.) ~scale () =
   {
     scale;
     verify;
     sink;
     chaos;
     fault_batch;
+    metrics_interval;
     cache = Hashtbl.create 64;
     mu = Mutex.create ();
     progress = None;
@@ -55,7 +58,10 @@ let announce t (app : Apps.Registry.t) proto np =
                (Svm.Config.protocol_name proto) np))
 
 let run_cell t ?sink (app : Apps.Registry.t) proto np =
-  let cfg = Svm.Config.make ~nprocs:np ~chaos:t.chaos ~fault_batch:t.fault_batch proto in
+  let cfg =
+    Svm.Config.make ~nprocs:np ~chaos:t.chaos ~fault_batch:t.fault_batch
+      ~metrics_interval:t.metrics_interval proto
+  in
   Svm.Runtime.run ?sink cfg (app.Apps.Registry.body ~verify:t.verify)
 
 let get t (app : Apps.Registry.t) proto np =

@@ -11,12 +11,15 @@ type t
     typed trace events of every uncached run (see {!Obs.Trace}). [chaos]
     (default {!Machine.Chaos.none}) applies one fault-injection plan to
     every cell. [fault_batch] (default 1) sets {!Svm.Config.fault_batch}
-    on every cell. *)
+    on every cell. [metrics_interval] (default 0. = off) sets
+    {!Svm.Config.metrics_interval} on every cell, so cached reports carry
+    a timeline ([r_metrics]). *)
 val create :
   ?verify:bool ->
   ?sink:Obs.Trace.sink ->
   ?chaos:Machine.Chaos.params ->
   ?fault_batch:int ->
+  ?metrics_interval:float ->
   scale:Apps.Registry.scale ->
   unit ->
   t

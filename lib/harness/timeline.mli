@@ -1,0 +1,26 @@
+(** Traffic-vs-time timelines (the [timeline] bench artifact).
+
+    Renders the sampled metrics recorder as side-by-side pictures: for LRC
+    and HLRC, the per-interval message/update-byte series of a fault-free
+    run stacked against the same cell under a fixed chaos plan (drop 2%,
+    30 us jitter) — the retransmission spike and the elapsed stretch line
+    up visually — plus an HLRC failover cell (2 replicas, one node killed
+    mid-run) whose recovery-stall window shows up as a hole in the traffic
+    and as the [recovery_stall_us] histogram. The bucket width is derived
+    from a fault-free probe run, so every scale renders at a comparable
+    number of intervals. *)
+
+(** Print the timeline pictures for [sor] on [np] nodes at [scale]. The
+    five instrumented cells are independent simulations evaluated through
+    [pool] (default {!Pool.sequential}); rendering happens only after
+    every cell finished, so the bytes are identical for any pool width.
+    Raises [Invalid_argument] when [np < 2] (node 0, the lock/barrier
+    manager, cannot be killed). *)
+val report :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  ?verify:bool ->
+  scale:Apps.Registry.scale ->
+  np:int ->
+  unit ->
+  unit

@@ -10,7 +10,7 @@
 type notice =
   | Dropped of { src : int; dst : int; seq : int; bytes : int; ack : bool }
   | Duplicated of { src : int; dst : int; seq : int }
-  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int }
+  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int; rto : float }
   | Dup_dropped of { src : int; dst : int; seq : int }
   | Ack_sent of { src : int; dst : int; upto : int }
   | Gave_up of { src : int; dst : int; seq : int; retries : int }
@@ -229,6 +229,9 @@ let rec arm_timer t l (p : packet) ~at =
           release t l p
         end
         else begin
+          (* [waited] is the timeout that just expired (captured before the
+             backoff doubling): the observed retransmit latency. *)
+          let waited = p.p_rto in
           p.p_retries <- p.p_retries + 1;
           p.p_rto <- p.p_rto *. 2.0;
           t.notify ~time:now
@@ -239,6 +242,7 @@ let rec arm_timer t l (p : packet) ~at =
                  seq = p.p_seq;
                  retries = p.p_retries;
                  bytes = p.p_bytes;
+                 rto = waited;
                });
           transmit t l p ~at:now;
           arm_timer t l p ~at:now;

@@ -26,7 +26,7 @@ type notice =
       (** The network lost a copy ([ack] distinguishes lost acks). *)
   | Duplicated of { src : int; dst : int; seq : int }
       (** The network duplicated a copy in flight. *)
-  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int }
+  | Retransmit of { src : int; dst : int; seq : int; retries : int; bytes : int; rto : float }
       (** Sender timeout: one more copy on the wire. *)
   | Dup_dropped of { src : int; dst : int; seq : int }
       (** Receiver discarded an already-delivered sequence number. *)

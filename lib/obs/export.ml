@@ -15,7 +15,14 @@ let jsonl sink =
       Buffer.add_char buf '\n');
   if Trace.dropped sink > 0 then begin
     Json.to_buffer buf
-      (Json.Obj [ ("ev", Json.String "dropped"); ("count", Json.Int (Trace.dropped sink)) ]);
+      (Json.Obj
+         [
+           ("ev", Json.String "dropped");
+           ("count", Json.Int (Trace.dropped sink));
+           ( "by_kind",
+             Json.Obj
+               (List.map (fun (k, n) -> (k, Json.Int n)) (Trace.dropped_by_kind sink)) );
+         ]);
     Buffer.add_char buf '\n'
   end;
   Buffer.contents buf
@@ -208,3 +215,11 @@ let write_file fmt ?name file sink =
     let oc = open_out_bin file in
     Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc doc)
   with Sys_error msg -> failwith (Printf.sprintf "cannot write trace file: %s" msg)
+
+let metrics_csv = Metrics.to_csv
+
+let write_metrics_csv file m =
+  try
+    let oc = open_out_bin file in
+    Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc (metrics_csv m))
+  with Sys_error msg -> failwith (Printf.sprintf "cannot write metrics file: %s" msg)

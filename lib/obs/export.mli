@@ -4,7 +4,8 @@
 
     - {b JSONL}: one flat JSON object per line (the {!Trace.to_json}
       encoding), trivially greppable and streamable; if the sink overflowed,
-      a final [{"ev":"dropped","count":N}] line records the loss.
+      a final [{"ev":"dropped","count":N,"by_kind":{...}}] line records the
+      loss, broken down by event kind.
     - {b Chrome [trace_event]}: a JSON document loadable directly by
       [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}, with one
       named track (thread) per simulated node and each protocol event as an
@@ -35,3 +36,12 @@ val chrome : ?name:string -> Trace.sink -> string
     write fails; an I/O failure raises [Failure] with a one-line
     description instead of leaking [Sys_error]. *)
 val write_file : format -> ?name:string -> string -> Trace.sink -> unit
+
+(** Long-format CSV of a metrics registry's time series (the third export
+    format, for the flight recorder rather than the event trace); alias of
+    {!Metrics.to_csv}. *)
+val metrics_csv : Metrics.t -> string
+
+(** Write {!metrics_csv} to [file] (binary mode; same error contract as
+    {!write_file}). *)
+val write_metrics_csv : string -> Metrics.t -> unit

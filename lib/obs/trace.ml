@@ -255,16 +255,31 @@ type sink = {
   mutable len : int;
   capacity : int;
   mutable n_dropped : int;
+  drop_kinds : (string, int ref) Hashtbl.t;  (* kind_name -> drops of that kind *)
 }
 
 let dummy = { time = 0.; node = 0; kind = Gc_done }
 
 let create_sink ?(capacity = 1_000_000) () =
   if capacity <= 0 then invalid_arg "Trace.create_sink: capacity must be positive";
-  { buf = Array.make (min capacity 1024) dummy; len = 0; capacity; n_dropped = 0 }
+  {
+    buf = Array.make (min capacity 1024) dummy;
+    len = 0;
+    capacity;
+    n_dropped = 0;
+    drop_kinds = Hashtbl.create 8;
+  }
+
+let count_drop s name n =
+  match Hashtbl.find_opt s.drop_kinds name with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.add s.drop_kinds name (ref n)
 
 let emit s ev =
-  if s.len >= s.capacity then s.n_dropped <- s.n_dropped + 1
+  if s.len >= s.capacity then begin
+    s.n_dropped <- s.n_dropped + 1;
+    count_drop s (kind_name ev.kind) 1
+  end
   else begin
     if s.len >= Array.length s.buf then begin
       let buf' = Array.make (min s.capacity (2 * Array.length s.buf)) dummy in
@@ -286,7 +301,8 @@ let absorb dst src =
   for i = 0 to src.len - 1 do
     emit dst src.buf.(i)
   done;
-  dst.n_dropped <- dst.n_dropped + src.n_dropped
+  dst.n_dropped <- dst.n_dropped + src.n_dropped;
+  Hashtbl.iter (fun name r -> count_drop dst name !r) src.drop_kinds
 
 let events s = Array.to_list (Array.sub s.buf 0 s.len)
 
@@ -300,3 +316,7 @@ let length s = s.len
 let capacity s = s.capacity
 
 let dropped s = s.n_dropped
+
+let dropped_by_kind s =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) s.drop_kinds []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

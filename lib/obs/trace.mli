@@ -149,3 +149,8 @@ val capacity : sink -> int
 
 (** Events discarded because the sink was full. *)
 val dropped : sink -> int
+
+(** Discarded events broken down by {!kind_name}, sorted by name; empty
+    when nothing was dropped. Sums to {!dropped} ({!absorb} merges the
+    per-kind counts too). *)
+val dropped_by_kind : sink -> (string * int) list

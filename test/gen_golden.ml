@@ -37,8 +37,27 @@ let overflow_sink () =
   done;
   sink
 
+(* A hand-written metrics registry exercising every CSV feature: a
+   per-node counter (zero-fill), a run-scope counter (node -1), and a
+   gauge (last-sample-wins, forward-fill). Histograms and heatmaps live
+   in the JSON timeline only, not the CSV. *)
+let sample_metrics () =
+  let m = Obs.Metrics.create ~interval:10. ~nnodes:2 in
+  let msgs = Obs.Metrics.counter m "messages" in
+  let events = Obs.Metrics.counter ~per_node:false m "engine_events" in
+  let mem = Obs.Metrics.gauge m "proto_mem_bytes" in
+  Obs.Metrics.add msgs ~node:0 ~time:0. 1.;
+  Obs.Metrics.add msgs ~node:0 ~time:9. 2.;
+  Obs.Metrics.add msgs ~node:1 ~time:25. 4.;
+  Obs.Metrics.add events ~node:0 ~time:12. 7.;
+  Obs.Metrics.sample mem ~node:0 ~time:5. 128.;
+  Obs.Metrics.sample mem ~node:0 ~time:8. 256.;
+  Obs.Metrics.sample mem ~node:1 ~time:22. 64.5;
+  m
+
 let () =
   let sink = sample_sink () in
   Obs.Export.write_file Obs.Export.Jsonl "golden_trace.jsonl" sink;
   Obs.Export.write_file Obs.Export.Chrome ~name:"golden" "golden_trace_chrome.json" sink;
-  Obs.Export.write_file Obs.Export.Jsonl "golden_overflow.jsonl" (overflow_sink ())
+  Obs.Export.write_file Obs.Export.Jsonl "golden_overflow.jsonl" (overflow_sink ());
+  Obs.Export.write_metrics_csv "golden_metrics.csv" (sample_metrics ())

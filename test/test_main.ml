@@ -25,4 +25,5 @@ let () =
       ("random", Test_random.suite);
       ("chaos", Test_chaos.suite);
       ("failover", Test_failover.suite);
+      ("metrics", Test_metrics.suite);
     ]
