@@ -11,7 +11,8 @@
    Artifacts: table1 table2 table3 table4 table5 table6 figure3 figure4
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
    ablation-locks ablation-migration ablation-fault-batch chaos-soak
-   kill-soak availability profile timeline perf micro all
+   kill-soak availability partition-soak suspicion-soak detector profile
+   timeline perf micro all
 
    --metrics-interval US turns on the sampled metrics recorder in every
    matrix cell; with --json the dump then carries a per-cell timeline
@@ -37,7 +38,8 @@ let known_artifacts =
     "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "figure3"; "figure4";
     "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
     "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "ablation-fault-batch"; "chaos-soak";
-    "kill-soak"; "availability"; "profile"; "timeline"; "perf"; "micro"; "all";
+    "kill-soak"; "availability"; "partition-soak"; "suspicion-soak"; "detector";
+    "profile"; "timeline"; "perf"; "micro"; "all";
   ]
 
 type options = {
@@ -379,6 +381,20 @@ let () =
     | "availability" ->
         if not (Harness.Soak.availability_report ppf ~pool ~scale:o.scale ()) then
           incr failures
+    | "partition-soak" ->
+        if not (Harness.Soak.partition_report ppf ~pool ~scale:o.scale ()) then
+          incr failures
+    | "suspicion-soak" ->
+        if not (Harness.Soak.false_suspicion_report ppf ~pool ~scale:o.scale ()) then
+          incr failures
+    | "detector" ->
+        (* Homeless vs home-based: the detector's latency/false-positive
+           trade-off must hold on both protocol families. *)
+        List.iter
+          (fun proto ->
+            if not (Harness.Soak.detector_report ppf ~scale:o.scale ~proto ()) then
+              incr failures)
+          [ Svm.Config.Hlrc; Svm.Config.Lrc ]
     | "profile" ->
         Harness.Profile.report ppf ~pool ~verify:o.verify ~chaos:o.chaos
           ~trace_cap:o.trace_cap ~scale:o.scale ~node_counts:o.nodes ()

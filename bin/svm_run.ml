@@ -12,6 +12,7 @@ let protocol_choices = String.concat "|" Svm.Config.protocol_strings
 let run app_name proto_name nprocs scale_name verify trace seed breakdown migrate coproc_locks
     json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
     fault_seed fault_batch kill_node kill_at detect_delay pause_node pause_at resume_at
+    partition_group partition_at heal_at detector_name hb_interval hb_timeout
     replicas repl_scheme_name metrics metrics_interval metrics_out =
   let scale =
     match String.lowercase_ascii scale_name with
@@ -47,8 +48,27 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
           (Printf.sprintf "unknown replication scheme %S (%s)" repl_scheme_name
              (String.concat "|" Svm.Config.repl_scheme_strings))
   in
-  let kill = Option.map (fun node -> (node, kill_at)) kill_node in
-  let pause = Option.map (fun node -> (node, pause_at, resume_at)) pause_node in
+  let detector =
+    match Svm.Config.detector_of_string detector_name with
+    | Some d -> d
+    | None ->
+        failwith
+          (Printf.sprintf "unknown detector %S (%s)" detector_name
+             (String.concat "|" Svm.Config.detector_strings))
+  in
+  let faults =
+    (match kill_node with
+    | None -> []
+    | Some node -> [ Machine.Chaos.Kill { node; at = kill_at } ])
+    @ (match pause_node with
+      | None -> []
+      | Some node -> [ Machine.Chaos.Pause { node; from_ = pause_at; until = resume_at } ])
+    @
+    match partition_group with
+    | None -> []
+    | Some group ->
+        [ Machine.Chaos.Partition { group; from_ = partition_at; until = heal_at } ]
+  in
   let chaos =
     {
       Machine.Chaos.drop_rate;
@@ -56,8 +76,7 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
       jitter;
       straggler;
       fault_seed;
-      kill;
-      pause;
+      faults;
       detect_delay;
     }
   in
@@ -73,7 +92,7 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
   let cfg =
     Svm.Config.make ~home_migration:migrate ~coproc_locks ~nprocs ~seed ~chaos
       ~trace_cap ~trace_spans:profile ~fault_batch ~replicas ~repl_scheme
-      ~metrics_interval protocol
+      ~detector ~hb_interval ~hb_timeout ~metrics_interval protocol
   in
   let trace_fn =
     if trace then Some (fun t s -> Printf.printf "[%12.1f us] %s\n" t s) else None
@@ -128,9 +147,10 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
       (sum (fun c -> c.Svm.Stats.msg_dup_dropped));
     Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest
   end;
-  (match kill with
+  (match kill_node with
   | None -> ()
-  | Some (victim, at) ->
+  | Some victim ->
+      let at = kill_at in
       let sum field =
         Array.fold_left
           (fun acc n -> acc + field n.Svm.Runtime.nr_counters)
@@ -148,6 +168,21 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
           (List.length stalls)
           (List.fold_left Float.max 0. stalls);
       Format.printf "mem digest  : %016Lx@." r.Svm.Runtime.r_mem_digest);
+  if detector = Svm.Config.Heartbeat then begin
+    let sum field =
+      Array.fold_left
+        (fun acc n -> acc + field n.Svm.Runtime.nr_counters)
+        0 r.Svm.Runtime.r_nodes
+    in
+    Format.printf
+      "detector    : heartbeat every %.0f us, timeout %.0f us; %d suspicion(s), %d \
+       refuted, %d fenced fetch(es)@."
+      cfg.Svm.Config.hb_interval
+      (Svm.Config.hb_timeout_effective cfg)
+      (sum (fun c -> c.Svm.Stats.suspicions))
+      (sum (fun c -> c.Svm.Stats.refutations))
+      (sum (fun c -> c.Svm.Stats.fenced_fetches))
+  end;
   if replicas > 1 then begin
     let sum field =
       Array.fold_left
@@ -371,6 +406,45 @@ let resume_at_arg =
   let doc = "Simulated time (microseconds) at which the paused node resumes." in
   Arg.(value & opt float 0.0 & info [ "resume-at" ] ~docv:"US" ~doc)
 
+let partition_arg =
+  let doc =
+    "Chaos: network partition — the comma-separated node group $(docv) is cut off from \
+     every other node between --partition-at and --heal-at (links within a side are \
+     untouched; healing is by retransmission). The classic source of false suspicions \
+     for the heartbeat detector."
+  in
+  Arg.(value & opt (some (list int)) None & info [ "partition" ] ~docv:"NODES" ~doc)
+
+let partition_at_arg =
+  let doc = "Simulated time (microseconds) at which --partition severs its links." in
+  Arg.(value & opt float 0.0 & info [ "partition-at" ] ~docv:"US" ~doc)
+
+let heal_at_arg =
+  let doc = "Simulated time (microseconds) at which --partition heals." in
+  Arg.(value & opt float 0.0 & info [ "heal-at" ] ~docv:"US" ~doc)
+
+let detector_arg =
+  let doc =
+    "Failure detector: oracle (the default — failover fires --detect-delay after a \
+     scheduled kill, never spuriously) or heartbeat (nodes ping every --hb-interval; a \
+     peer silent past --hb-timeout is suspected, a strict majority of suspicions deposes \
+     it, and a falsely-deposed node rejoins when heard from again). Oracle output is \
+     byte-identical to a build without the detector."
+  in
+  Arg.(value & opt string "oracle" & info [ "detector" ] ~docv:"KIND" ~doc)
+
+let hb_interval_arg =
+  let doc = "Heartbeat period in simulated microseconds (--detector heartbeat)." in
+  Arg.(value & opt float 200.0 & info [ "hb-interval" ] ~docv:"US" ~doc)
+
+let hb_timeout_arg =
+  let doc =
+    "Suspicion timeout in simulated microseconds; 0 (the default) auto-sizes it from the \
+     heartbeat period and the chaos plan's worst jitter spike, so a fault-free run never \
+     suspects anyone."
+  in
+  Arg.(value & opt float 0.0 & info [ "hb-timeout" ] ~docv:"US" ~doc)
+
 let replicas_arg =
   let doc =
     "Replication degree: each page keeps $(docv) replicas (the home plus the next \
@@ -416,8 +490,12 @@ let metrics_out_arg =
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
-let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 =
-  try run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 with
+let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 i2 j2
+    k2 l2 m2 n2 =
+  try
+    run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 i2 j2 k2 l2
+      m2 n2
+  with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
       exit 2
@@ -435,7 +513,8 @@ let cmd =
       $ trace_format_arg $ trace_cap_arg $ profile_arg $ drop_rate_arg $ dup_rate_arg
       $ jitter_arg $ straggler_arg $ fault_seed_arg $ fault_batch_arg $ kill_node_arg
       $ kill_at_arg $ detect_delay_arg $ pause_node_arg $ pause_at_arg $ resume_at_arg
-      $ replicas_arg $ repl_scheme_arg $ metrics_arg $ metrics_interval_arg
+      $ partition_arg $ partition_at_arg $ heal_at_arg $ detector_arg $ hb_interval_arg
+      $ hb_timeout_arg $ replicas_arg $ repl_scheme_arg $ metrics_arg $ metrics_interval_arg
       $ metrics_out_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -54,6 +54,18 @@ let repl_scheme_of_string s =
   | "backup" -> Some Backup
   | _ -> None
 
+type detector = Oracle | Heartbeat
+
+let detector_name = function Oracle -> "oracle" | Heartbeat -> "heartbeat"
+
+let detector_strings = List.map detector_name [ Oracle; Heartbeat ]
+
+let detector_of_string s =
+  match String.lowercase_ascii s with
+  | "oracle" -> Some Oracle
+  | "heartbeat" -> Some Heartbeat
+  | _ -> None
+
 type t = {
   nprocs : int;
   protocol : protocol;
@@ -73,9 +85,25 @@ type t = {
   replicas : int;
   repl_scheme : repl_scheme;
   metrics_interval : float;
+  detector : detector;
+  hb_interval : float;
+  hb_timeout : float;
 }
 
 let chaos_enabled t = Machine.Chaos.enabled t.chaos
+
+(* The reliable transport is needed whenever chaos can reorder or lose
+   traffic — and for the heartbeat detector, whose pings and healing
+   retransmissions ride on it even in an otherwise fault-free run. *)
+let transport_enabled t = chaos_enabled t || t.detector = Heartbeat
+
+(* Effective suspicion timeout: the explicit [--hb-timeout], or sized so a
+   healthy peer can never be suspected — the observer's audit runs once per
+   interval, a ping can lag one interval plus the worst jitter spike each
+   way, and a little slack for the transfer itself. *)
+let hb_timeout_effective t =
+  if t.hb_timeout > 0. then t.hb_timeout
+  else (3. *. t.hb_interval) +. (2. *. Machine.Chaos.max_delay_params t.chaos) +. 100.
 
 let metrics_enabled t = t.metrics_interval > 0.
 
@@ -86,7 +114,8 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     ?(coproc_locks = false) ?(au_combine_words = 32) ?(home_migration = false)
     ?(paranoid = false) ?(seed = 42) ?(chaos = Machine.Chaos.none)
     ?(trace_cap = 1_000_000) ?(trace_spans = false) ?(fault_batch = 1) ?(replicas = 1)
-    ?(repl_scheme = Inval) ?(metrics_interval = 0.) ~nprocs protocol =
+    ?(repl_scheme = Inval) ?(metrics_interval = 0.) ?(detector = Oracle)
+    ?(hb_interval = 1000.) ?(hb_timeout = 0.) ~nprocs protocol =
   if nprocs <= 0 then
     invalid_arg (Printf.sprintf "Config.make: nprocs must be positive (got %d)" nprocs);
   if not (power_of_two page_words) then
@@ -129,19 +158,27 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     invalid_arg
       "Config.make: home replication and home migration are mutually exclusive (both \
        rewrite the home directory)";
-  (match chaos.Machine.Chaos.kill with
-  | Some (node, _) when node >= nprocs ->
-      invalid_arg
-        (Printf.sprintf "Config.make: kill node %d out of range (nprocs %d)" node nprocs)
-  | Some (0, _) ->
-      invalid_arg
-        "Config.make: node 0 is the lock/barrier manager and cannot be killed"
-  | _ -> ());
-  (match chaos.Machine.Chaos.pause with
-  | Some (node, _, _) when node >= nprocs ->
-      invalid_arg
-        (Printf.sprintf "Config.make: pause node %d out of range (nprocs %d)" node nprocs)
-  | _ -> ());
+  (* Shape/node-0 checks live in [Chaos.validate] (run above); only the
+     nprocs-dependent range checks belong here. *)
+  List.iter
+    (fun f ->
+      let check kind node =
+        if node >= nprocs then
+          invalid_arg
+            (Printf.sprintf "Config.make: %s node %d out of range (nprocs %d)" kind node
+               nprocs)
+      in
+      match f with
+      | Machine.Chaos.Kill { node; _ } -> check "kill" node
+      | Machine.Chaos.Pause { node; _ } -> check "pause" node
+      | Machine.Chaos.Partition { group; _ } -> List.iter (check "partition") group)
+    chaos.Machine.Chaos.faults;
+  if not (hb_interval > 0.) then
+    invalid_arg
+      (Printf.sprintf "Config.make: hb_interval must be positive (got %g)" hb_interval);
+  if not (hb_timeout >= 0.) then
+    invalid_arg
+      (Printf.sprintf "Config.make: hb_timeout must be >= 0 (got %g)" hb_timeout);
   {
     nprocs;
     protocol;
@@ -161,4 +198,7 @@ let make ?(page_words = 1024) ?(costs = Machine.Costs.default)
     replicas;
     repl_scheme;
     metrics_interval;
+    detector;
+    hb_interval;
+    hb_timeout;
   }

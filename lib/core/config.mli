@@ -68,6 +68,25 @@ val repl_scheme_strings : string list
 
 val repl_scheme_of_string : string -> repl_scheme option
 
+(** How node failures are detected. [Oracle] (the default): failover is
+    scheduled by the runtime at kill time + [chaos.detect_delay] —
+    deterministic and perfect, spurious failover impossible, and every
+    fault-free output byte-identical to before the detector existed.
+    [Heartbeat]: nodes exchange timing-model-charged heartbeats
+    ({!Machine.Transport.start_heartbeats}); a peer silent past
+    [hb_timeout] is {e suspected}, and failover runs only when a strict
+    majority of live, non-deposed nodes agree — a real, fallible detector
+    that partitions and pauses can fool. *)
+type detector = Oracle | Heartbeat
+
+(** Stable name of the detector (["oracle"] | ["heartbeat"]). *)
+val detector_name : detector -> string
+
+(** The command-line spellings {!detector_of_string} accepts. *)
+val detector_strings : string list
+
+val detector_of_string : string -> detector option
+
 type t = {
   nprocs : int;
   protocol : protocol;
@@ -134,11 +153,33 @@ type t = {
           disables metrics entirely: no registry is created, no sampler
           events are scheduled, and every output stays byte-identical to a
           build without the metrics machinery. *)
+  detector : detector;
+      (** Failure-detection mode; [Oracle] by default, keeping all
+          detector-free outputs byte-identical. *)
+  hb_interval : float;
+      (** Heartbeat emission period in simulated microseconds
+          ([--hb-interval], default 1000); only meaningful with
+          [detector = Heartbeat]. *)
+  hb_timeout : float;
+      (** Suspicion timeout in simulated microseconds ([--hb-timeout]).
+          0 (the default) auto-sizes it from the interval and the chaos
+          plan's worst jitter spike — see {!hb_timeout_effective}. *)
 }
 
 (** Whether this configuration injects any faults (see
     {!Machine.Chaos.enabled}). *)
 val chaos_enabled : t -> bool
+
+(** Whether the reliable transport must be installed: {!chaos_enabled}, or
+    the heartbeat detector is selected (its pings and the healing
+    retransmissions ride on the transport even in a fault-free run). *)
+val transport_enabled : t -> bool
+
+(** The suspicion timeout actually used: [hb_timeout] when positive, else
+    [3 * hb_interval + 2 * worst jitter spike + 100] — wide enough that a
+    healthy peer is never suspected (the audit runs once per interval and a
+    ping can lag a full interval plus jitter). *)
+val hb_timeout_effective : t -> float
 
 (** Whether the metrics flight recorder is on ([metrics_interval] > 0). *)
 val metrics_enabled : t -> bool
@@ -146,10 +187,12 @@ val metrics_enabled : t -> bool
 (** Raises [Invalid_argument] with a descriptive message when a knob is out
     of range: [nprocs], [gc_threshold_bytes], [au_combine_words] or
     [trace_cap] non-positive, [page_words] not a positive power of two,
-    [fault_batch] < 1, [metrics_interval] negative, an invalid chaos plan (rates outside [0, 1],
-    negative jitter, straggler < 1, malformed kill/pause schedule, or a
-    kill/pause node out of range — killing node 0, the lock/barrier
-    manager, is rejected), [replicas] outside [1, nprocs], or [replicas]
+    [fault_batch] < 1, [metrics_interval] negative, an invalid chaos plan
+    (rates outside [0, 1], negative jitter, straggler < 1, or a malformed
+    fault schedule — see {!Machine.Chaos.validate}; killing or pausing
+    node 0, the lock/barrier manager, is rejected there), a scheduled
+    fault naming a node >= [nprocs], [hb_interval] non-positive,
+    [hb_timeout] negative, [replicas] outside [1, nprocs], or [replicas]
     > 1 combined with AURC/RC or with [home_migration]. *)
 val make :
   ?page_words:int ->
@@ -168,6 +211,9 @@ val make :
   ?replicas:int ->
   ?repl_scheme:repl_scheme ->
   ?metrics_interval:float ->
+  ?detector:detector ->
+  ?hb_interval:float ->
+  ?hb_timeout:float ->
   nprocs:int ->
   protocol ->
   t

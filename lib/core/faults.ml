@@ -111,7 +111,27 @@ let rec fetch_from_home sys node page ~on_valid =
   event sys node (Obs.Trace.Page_fetch { page; home });
   send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.ck.Machine.Node.clock ~bytes:request_bytes ~update:0
     (fun arrival ->
+      (* Authority epoch under which this request was accepted. If a
+         failover re-homes the page before the serve runs (the home was
+         deposed while the fetch was parked or in flight), the epoch is
+         stale: serving would hand out an outdated master. Fence — the
+         requester was re-issued against the new home at promote time
+         ([Replica.reissue_blocked]), so the park is dead weight. *)
+      let epoch0 = epoch_of sys page in
+      let fenced at =
+        let stale = home_of sys page <> home || epoch_of sys page <> epoch0 in
+        if stale then begin
+          let c = home_node.stats.Stats.c in
+          c.Stats.fenced_fetches <- c.Stats.fenced_fetches + 1;
+          if observing sys then
+            event_at sys ~node:home ~time:at
+              (Obs.Trace.Fenced_fetch { page; requester = node.id })
+        end;
+        stale
+      in
       let serve_fetch at =
+        if fenced at then ()
+        else
         let done_t = serve sys home_node ~arrival:at ~cost:request_service_cost in
         let hentry = Mem.Page_table.ensure home_node.pt page in
         let master =
@@ -149,9 +169,11 @@ let rec fetch_from_home sys node page ~on_valid =
       in
       let hp = home_page sys home_node page in
       if Proto.Vclock.leq needed hp.hp_flush then serve_fetch arrival
-      else begin
+      else if not (fenced arrival) then begin
         ignore (serve sys home_node ~arrival ~cost:request_service_cost);
-        hp.hp_pending <- { pf_needed = needed; pf_serve = serve_fetch } :: hp.hp_pending;
+        hp.hp_pending <-
+          { pf_needed = needed; pf_serve = serve_fetch; pf_requester = node.id }
+          :: hp.hp_pending;
         event sys home_node (Obs.Trace.Page_fetch_pending { page })
       end);
   ignore c
@@ -207,7 +229,22 @@ let fetch_batch_from_home sys node page ~extras ~on_valid =
   event sys node (Obs.Trace.Batch_fetch { page; home; pages = 1 + List.length extras });
   send sys ~src:node ~dst:home ~at:node.mach.Machine.Node.ck.Machine.Node.clock
     ~bytes:request_bytes ~update:0 (fun arrival ->
+      (* Same stale-authority fence as the unbatched path. *)
+      let epoch0 = epoch_of sys page in
+      let fenced at =
+        let stale = home_of sys page <> home || epoch_of sys page <> epoch0 in
+        if stale then begin
+          let c = home_node.stats.Stats.c in
+          c.Stats.fenced_fetches <- c.Stats.fenced_fetches + 1;
+          if observing sys then
+            event_at sys ~node:home ~time:at
+              (Obs.Trace.Fenced_fetch { page; requester = node.id })
+        end;
+        stale
+      in
       let serve_fetch at =
+        if fenced at then ()
+        else
         let master_of q =
           let hentry = Mem.Page_table.ensure home_node.pt q in
           match hentry.Mem.Page_table.data with
@@ -276,9 +313,11 @@ let fetch_batch_from_home sys node page ~extras ~on_valid =
       in
       let hp = home_page sys home_node page in
       if Proto.Vclock.leq needed hp.hp_flush then serve_fetch arrival
-      else begin
+      else if not (fenced arrival) then begin
         ignore (serve sys home_node ~arrival ~cost:request_service_cost);
-        hp.hp_pending <- { pf_needed = needed; pf_serve = serve_fetch } :: hp.hp_pending;
+        hp.hp_pending <-
+          { pf_needed = needed; pf_serve = serve_fetch; pf_requester = node.id }
+          :: hp.hp_pending;
         event sys home_node (Obs.Trace.Page_fetch_pending { page })
       end)
 
@@ -600,6 +639,7 @@ let make_valid sys node page ~on_valid =
                   ~bucket:Obs.Trace.Wb_home ~resource:page;
                 entry.Mem.Page_table.prot <- Mem.Page_table.Read_only;
                 on_valid ());
+            pf_requester = node.id;
           }
           :: hp.hp_pending
       end

@@ -59,6 +59,19 @@ let deliver_rc_update sys member ~arrival ~writer ~page diff =
 let deliver_flush sys home_node ~arrival ~writer ~index ~page diff =
   let c = costs sys in
   let done_t = serve sys home_node ~arrival ~cost:(diff_apply_cost c diff) in
+  if replicated sys && home_of sys page <> home_node.id then
+    (* Stale authority: the page was failed over while this flush was in
+       flight (the receiver was deposed by a suspicion quorum). Drop it —
+       applying would fork the master, and nothing is lost: replicated
+       home-based runs retain every flushed diff at its writer, and the
+       promotion that moved the home pulls exactly those retained diffs
+       (the writer had created this one before the pull request arrived).
+       Only under replication: a barrier-time home *migration* also moves
+       [home_of] with epoch flushes still in flight to the old home, and
+       there the old home must keep applying — its parked transfer waits
+       for exactly those flushes before shipping the master away. *)
+    ()
+  else
   match Hashtbl.find_opt sys.recovering page with
   | Some rc ->
       (* The home is mid-failover-recovery: applying into the master now
@@ -239,6 +252,19 @@ let end_interval sys node =
                      in
                      Mem.Page_table.drop_twin entry;
                      Mem.Accounting.sub node.stats.Stats.proto_mem page_bytes;
+                     (* Retain the diff here too, like any non-home writer:
+                        the stream to the backups can be in flight (or
+                        silenced by a gray failure) at the moment a
+                        suspicion quorum deposes this node, and the
+                        promotion pull must then be able to recover the
+                        ex-home's own writes from the ex-home itself. *)
+                     Mem.Accounting.add node.stats.Stats.proto_mem
+                       (Mem.Diff.size_bytes diff);
+                     let prev =
+                       try Hashtbl.find node.own_diffs page with Not_found -> []
+                     in
+                     Hashtbl.replace node.own_diffs page
+                       ((index, diff, Proto.Vclock.copy node.vt) :: prev);
                      propagate_update sys node ~page ~writer:node.id ~index ~diff
                        ~vt:(Some (Proto.Vclock.copy node.vt)) ~at:done_t ~payload:true
                  | None -> ());

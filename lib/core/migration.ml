@@ -136,6 +136,10 @@ let run sys epoch_ivs =
           start mgr.mach.Machine.Node.ck.Machine.Node.clock
         else
           hp_old.hp_pending <-
-            { pf_needed = required; pf_serve = start } :: hp_old.hp_pending)
+            (* System-initiated transfer, not a node's fetch; attribute it to
+               the receiving home. Migration excludes replication (Config
+               forbids the combination), so this park is never fenced. *)
+            { pf_needed = required; pf_serve = start; pf_requester = new_home }
+            :: hp_old.hp_pending)
       moves
   end

@@ -159,6 +159,9 @@ let promote sys ~page ~dead ~to_ ~at =
   if observing sys then
     event_at sys ~node:to_ ~time:at (Obs.Trace.Failover { page; from_ = dead; to_ });
   Hashtbl.replace sys.home_tbl page to_;
+  (* New authority epoch: any serve closure the old home still holds was
+     accepted under the previous epoch and fences itself off. *)
+  bump_epoch sys page;
   Hashtbl.replace sys.failover_at page at;
   ignore (home_page sys b page);
   let rp = Hashtbl.find_opt b.repl page in
@@ -241,5 +244,110 @@ let failover sys ~dead ~at =
      ([Faults.collect_diffs] / [Faults.fetch_full_page]). Both families
      re-route their in-flight fetches. *)
   reissue_blocked sys ~at;
-  (* A barrier stalled solely on the victim's arrival completes now. *)
+  (* A barrier stalled solely on the victim's arrival completes now (for a
+     deposed-but-alive victim this is a no-op: [all_live_arrived] counts
+     physical liveness, so the barrier still waits for its arrival). *)
   Sync.note_node_death sys
+
+(* ------------------------------------------------------------------ *)
+(* Heartbeat detector: suspicion bookkeeping, quorum membership, and the
+   rejoin of falsely-deposed nodes. [Runtime] wires the transport's
+   per-node suspectors to {!suspect}/{!refute}; the oracle never calls
+   either, so every oracle run carries an all-false matrix and zero cost.
+
+   The suspicion matrix is global simulator state: a node's vote is
+   visible to the quorum check the instant it forms. This models an
+   instantaneous gossip of suspicions — optimistic about agreement
+   latency, but not about detection, which is what the heartbeat timing
+   actually measures. *)
+
+(* Strict global majority against [peer], counted over the full machine
+   size, not the current members: dead and deposed nodes are absent
+   voters, so a minority partition (or a single paused node suspecting
+   everyone) can never depose the other side. The suspected node cannot
+   vote on itself. Machines of fewer than 3 nodes have no majority
+   distinct from a single accuser and never depose. *)
+let quorum sys peer =
+  let votes = ref 0 in
+  Array.iter
+    (fun (n : node_state) ->
+      if n.id <> peer && is_member sys n.id && sys.suspects.(n.id).(peer) then incr votes)
+    sys.nodes;
+  2 * !votes > nprocs sys
+
+(* The quorum formed: remove [peer] from the membership view and fail its
+   pages over, exactly as the oracle does for a kill. A deposed node may
+   in fact be alive (paused, partitioned, or just unlucky with drops): it
+   keeps executing, but [is_member]/[live_replica] exclude it, the epoch
+   fence voids its serving authority, and it rejoins through {!refute}
+   once it is heard from again. Attributed to the node whose suspicion
+   completed the quorum. *)
+let depose sys ~peer ~by ~at =
+  sys.deposed.(peer) <- true;
+  if observing sys then event_at sys ~node:by ~time:at (Obs.Trace.Depose { node = peer });
+  failover sys ~dead:peer ~at
+
+let suspect sys ~by ~peer ~at =
+  if by <> peer && not sys.suspects.(by).(peer) then begin
+    sys.suspects.(by).(peer) <- true;
+    let c = sys.nodes.(by).stats.Stats.c in
+    c.Stats.suspicions <- c.Stats.suspicions + 1;
+    if observing sys then event_at sys ~node:by ~time:at (Obs.Trace.Suspect { peer });
+    if (not (is_deposed sys peer)) && quorum sys peer then depose sys ~peer ~by ~at
+  end
+
+(* A falsely-deposed node resurfaced and the quorum against it collapsed:
+   re-admit it. Its authority over every page re-homed while it was out
+   is stale — drop the home-side state, invalidate the local copy (the
+   next access re-fetches from the current home; uncommitted local writes
+   survive in the twin and ride on top of the fetched snapshot), fence
+   off remote fetches still parked here (their owners were re-issued
+   against the new home at promote time), and convert the node's *own*
+   parked waits into ordinary remote fetches — a process waiting on a
+   master it no longer owns would otherwise sleep forever. *)
+let rejoin sys ~ex ~at =
+  sys.deposed.(ex) <- false;
+  let node = sys.nodes.(ex) in
+  if observing sys then event_at sys ~node:ex ~time:at (Obs.Trace.Rejoin { node = ex });
+  let stale =
+    Hashtbl.fold
+      (fun page _ acc -> if home_of sys page <> ex then page :: acc else acc)
+      node.homes []
+    |> List.sort compare
+  in
+  List.iter
+    (fun page ->
+      let hp = Hashtbl.find node.homes page in
+      let own, foreign = List.partition (fun pf -> pf.pf_requester = ex) hp.hp_pending in
+      List.iter
+        (fun pf ->
+          let c = node.stats.Stats.c in
+          c.Stats.fenced_fetches <- c.Stats.fenced_fetches + 1;
+          if observing sys then
+            event_at sys ~node:ex ~time:at
+              (Obs.Trace.Fenced_fetch { page; requester = pf.pf_requester }))
+        foreign;
+      hp.hp_pending <- [];
+      Hashtbl.remove node.homes page;
+      let entry = Mem.Page_table.ensure node.pt page in
+      if
+        entry.Mem.Page_table.data <> None
+        && entry.Mem.Page_table.prot <> Mem.Page_table.No_access
+      then entry.Mem.Page_table.prot <- Mem.Page_table.No_access;
+      List.iter
+        (fun pf ->
+          Machine.Node.sync_to node.mach at;
+          Faults.fetch_from_home sys node page ~on_valid:(fun () ->
+              pf.pf_serve node.mach.Machine.Node.ck.Machine.Node.clock))
+        own)
+    stale
+
+let refute sys ~by ~peer ~at =
+  if sys.suspects.(by).(peer) then begin
+    sys.suspects.(by).(peer) <- false;
+    let c = sys.nodes.(by).stats.Stats.c in
+    c.Stats.refutations <- c.Stats.refutations + 1;
+    if observing sys then event_at sys ~node:by ~time:at (Obs.Trace.Refute { peer });
+    if is_deposed sys peer && is_alive sys peer && not (quorum sys peer) then
+      rejoin sys ~ex:peer ~at
+  end

@@ -20,3 +20,23 @@
 (** [failover sys ~dead ~at] runs the failure detector's response to the
     crash of [dead], at detection time [at]. *)
 val failover : System.t -> dead:int -> at:float -> unit
+
+(** {1 Heartbeat detector}
+
+    With [--detector heartbeat], {!Runtime} wires the transport's per-node
+    suspectors ({!Machine.Transport.start_heartbeats}) to these two hooks.
+    A suspicion is one node's local view; only a strict global majority of
+    current members deposes a node and triggers {!failover} — so a single
+    paused node (which suspects everyone it can no longer hear) or a
+    minority partition can never remove the other side. A deposed node may
+    be alive: when it is heard from again and the quorum collapses, it
+    rejoins — stale home authority discarded (remote fetches still parked
+    there are fenced; its own parked waits convert to remote fetches
+    against the current home), local copies of re-homed pages invalidated,
+    and {!Obs.Trace.Rejoin} emitted. *)
+
+(** [by] has not heard [peer] for longer than the suspicion timeout. *)
+val suspect : System.t -> by:int -> peer:int -> at:float -> unit
+
+(** [by] heard the suspected [peer] again: the suspicion was false. *)
+val refute : System.t -> by:int -> peer:int -> at:float -> unit

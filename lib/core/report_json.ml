@@ -30,6 +30,10 @@ let costs_json (c : Machine.Costs.t) =
    on: a fault-free run's report stays byte-identical to the pre-chaos
    schema, which the regression gate asserts. *)
 
+(* The fault schedule renders under the legacy single-fault keys
+   ([kill_node]/[pause_node]...) for its earliest kill and pause — archived
+   reports and their consumers predate the schedule — plus a [partitions]
+   list for the faults the old schema could not express. *)
 let chaos_json (ch : Machine.Chaos.params) =
   Obj
     ([
@@ -39,7 +43,7 @@ let chaos_json (ch : Machine.Chaos.params) =
        ("straggler", f ch.straggler);
        ("fault_seed", Int ch.fault_seed);
      ]
-    @ (match ch.kill with
+    @ (match Machine.Chaos.first_kill ch with
       | None -> []
       | Some (node, at) ->
           [
@@ -47,11 +51,27 @@ let chaos_json (ch : Machine.Chaos.params) =
             ("kill_at", f at);
             ("detect_delay", f ch.detect_delay);
           ])
+    @ (match Machine.Chaos.first_pause ch with
+      | None -> []
+      | Some (node, pause_at, resume_at) ->
+          [ ("pause_node", Int node); ("pause_at", f pause_at); ("resume_at", f resume_at) ])
     @
-    match ch.pause with
-    | None -> []
-    | Some (node, pause_at, resume_at) ->
-        [ ("pause_node", Int node); ("pause_at", f pause_at); ("resume_at", f resume_at) ])
+    match Machine.Chaos.partitions ch with
+    | [] -> []
+    | parts ->
+        [
+          ( "partitions",
+            List
+              (List.map
+                 (fun (group, from_, until) ->
+                   Obj
+                     [
+                       ("group", List (List.map (fun n -> Int n) group));
+                       ("from_us", f from_);
+                       ("until_us", f until);
+                     ])
+                 parts) );
+        ])
 
 let config_json (cfg : Config.t) =
   Obj
@@ -78,11 +98,24 @@ let config_json (cfg : Config.t) =
                ] );
          ]
        else [])
+    @ (* A kill-only schedule does not enable message chaos (no transport),
+         but its parameters still belong in the report. *)
+    (if Config.chaos_enabled cfg || Machine.Chaos.kills cfg.chaos <> [] then
+       [ ("chaos", chaos_json cfg.chaos) ]
+     else [])
     @
-    (* A kill-only schedule does not enable message chaos (no transport),
-       but its parameters still belong in the report. *)
-    if Config.chaos_enabled cfg || cfg.chaos.Machine.Chaos.kill <> None then
-      [ ("chaos", chaos_json cfg.chaos) ]
+    (* Absent under [--detector oracle] (the default), keeping every
+       pre-detector report byte-identical. *)
+    if cfg.detector = Config.Heartbeat then
+      [
+        ( "detector",
+          Obj
+            [
+              ("kind", String (Config.detector_name cfg.detector));
+              ("hb_interval_us", f cfg.hb_interval);
+              ("hb_timeout_us", f (Config.hb_timeout_effective cfg));
+            ] );
+      ]
     else [])
 
 let breakdown_json (b : Stats.breakdown) =
@@ -96,7 +129,7 @@ let breakdown_json (b : Stats.breakdown) =
       ("gc", f b.gc);
     ]
 
-let counters_json ~chaos ~batching ~repl ~kill (c : Stats.counters) =
+let counters_json ~chaos ~batching ~repl ~kill ~detect (c : Stats.counters) =
   Obj
     ([
        ("read_misses", Int c.read_misses);
@@ -120,6 +153,7 @@ let counters_json ~chaos ~batching ~repl ~kill (c : Stats.counters) =
            ("msg_retransmits", Int c.msg_retransmits);
            ("msg_acks", Int c.msg_acks);
            ("msg_dup_dropped", Int c.msg_dup_dropped);
+           ("msg_gave_up", Int c.msg_gave_up);
          ]
        else [])
     @ (if repl then
@@ -129,18 +163,25 @@ let counters_json ~chaos ~batching ~repl ~kill (c : Stats.counters) =
            ("repl_bytes", Int c.repl_bytes);
          ]
        else [])
+    @ (if kill then
+         [ ("failovers", Int c.failovers); ("msg_peer_dead", Int c.msg_peer_dead) ]
+       else [])
     @
-    if kill then
-      [ ("failovers", Int c.failovers); ("msg_peer_dead", Int c.msg_peer_dead) ]
+    if detect then
+      [
+        ("suspicions", Int c.suspicions);
+        ("refutations", Int c.refutations);
+        ("fenced_fetches", Int c.fenced_fetches);
+      ]
     else [])
 
-let node_json ~chaos ~batching ~repl ~kill (n : Runtime.node_report) =
+let node_json ~chaos ~batching ~repl ~kill ~detect (n : Runtime.node_report) =
   Obj
     [
       ("id", Int n.nr_id);
       ("elapsed_us", f n.nr_elapsed);
       ("breakdown", breakdown_json n.nr_breakdown);
-      ("counters", counters_json ~chaos ~batching ~repl ~kill n.nr_counters);
+      ("counters", counters_json ~chaos ~batching ~repl ~kill ~detect n.nr_counters);
       ("mem_peak", Int n.nr_mem_peak);
       ("mem_end", Int n.nr_mem_end);
       ("epochs", List (List.map breakdown_json n.nr_epochs));
@@ -178,7 +219,11 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
   let chaos = Config.chaos_enabled r.r_config in
   let batching = r.r_config.Config.fault_batch > 1 in
   let repl = r.r_config.Config.replicas > 1 in
-  let kill = r.r_config.Config.chaos.Machine.Chaos.kill <> None in
+  let detect = r.r_config.Config.detector = Config.Heartbeat in
+  (* The availability section covers scheduled kills and heartbeat runs
+     alike: a fallible detector can depose (and fail over) nodes that were
+     never killed. *)
+  let kill = Machine.Chaos.kills r.r_config.Config.chaos <> [] || detect in
   let repl_totals =
     if not repl then []
     else
@@ -204,15 +249,24 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
       [
         ( "availability",
           Obj
-            [
+            ([
               ("failovers", Int (sum_counter r (fun c -> c.Stats.failovers)));
               ("msg_peer_dead", Int (sum_counter r (fun c -> c.Stats.msg_peer_dead)));
+              ("msg_gave_up", Int (sum_counter r (fun c -> c.Stats.msg_gave_up)));
               ("recovery_stalls", Int n);
               ("stall_mean_us", f (if n = 0 then 0. else total /. float_of_int n));
               ("stall_p99_us", f (pct 0.99));
               ("stall_max_us", f (if n = 0 then 0. else stalls.(n - 1)));
               ("mem_digest", String (Printf.sprintf "%016Lx" r.r_mem_digest));
-            ] )
+            ]
+            @
+            if not detect then []
+            else
+              [
+                ("suspicions", Int (sum_counter r (fun c -> c.Stats.suspicions)));
+                ("refutations", Int (sum_counter r (fun c -> c.Stats.refutations)));
+                ("fenced_fetches", Int (sum_counter r (fun c -> c.Stats.fenced_fetches)));
+              ]) )
       ]
     end
   in
@@ -258,7 +312,9 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
            ]
           @ repl_totals @ availability_totals @ chaos_totals) );
       ( "nodes",
-        List (Array.to_list (Array.map (node_json ~chaos ~batching ~repl ~kill) r.r_nodes)) );
+        List
+          (Array.to_list
+             (Array.map (node_json ~chaos ~batching ~repl ~kill ~detect) r.r_nodes)) );
     ]
     @ (match r.r_metrics with
       | None -> []

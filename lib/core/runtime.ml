@@ -118,10 +118,28 @@ let stall_dump sys =
       in
       List.iter
         (fun (page, k) ->
+          (* Which writers' flushes the parked fetches are short of:
+             [needed > flush] per vector entry. *)
+          let hp = Hashtbl.find n.System.homes page in
+          let missing =
+            List.concat_map
+              (fun (pf : System.pending_fetch) ->
+                List.filter_map
+                  (fun w ->
+                    let need = Proto.Vclock.get pf.System.pf_needed w in
+                    let have = Proto.Vclock.get hp.System.hp_flush w in
+                    if need > have then Some (Printf.sprintf "writer %d: %d > %d" w need have)
+                    else None)
+                  (List.init (System.nprocs sys) Fun.id))
+              hp.System.hp_pending
+            |> List.sort_uniq compare
+          in
           Buffer.add_string buf
             (Printf.sprintf
-               "\n  node %d: %d fetch(es) of page %d waiting for flushes at the home (%s)"
-               n.System.id k page (describe_page page)))
+               "\n  node %d: %d fetch(es) of page %d waiting for flushes at the home (%s%s)"
+               n.System.id k page (describe_page page)
+               (if missing = [] then ""
+                else "; missing " ^ String.concat ", " missing)))
         (List.sort compare pending))
     sys.System.nodes;
   Hashtbl.iter
@@ -288,18 +306,65 @@ let run ?trace ?sink cfg app =
     (fun node ->
       Sim.Engine.schedule sys.System.engine ~at:0. (fun () -> start_process sys node app))
     sys.System.nodes;
-  (* The node-fault schedule: crash-stop the victim at its kill time, and
-     fire the failure detector (deterministic failover) one detection delay
-     later. Runs with a kill but no message chaos stay on the fast send
-     path — the kill itself is not a transport concern. *)
-  (match cfg.Config.chaos.Machine.Chaos.kill with
-  | None -> ()
-  | Some (victim, kill_at) ->
-      let detect = kill_at +. cfg.Config.chaos.Machine.Chaos.detect_delay in
+  (* The node-fault schedule: crash-stop each victim at its kill time and,
+     under the oracle detector, fire deterministic failover one detection
+     delay later. Runs with a kill but no message chaos stay on the fast
+     send path — the kill itself is not a transport concern. Under the
+     heartbeat detector the oracle stays silent: failover happens only when
+     a suspicion quorum forms ({!Replica.suspect}). *)
+  List.iter
+    (fun (victim, kill_at) ->
       Sim.Engine.schedule sys.System.engine ~at:kill_at (fun () ->
           System.kill_node sys ~node:victim ~time:kill_at);
-      Sim.Engine.schedule sys.System.engine ~at:detect (fun () ->
-          Replica.failover sys ~dead:victim ~at:detect));
+      if cfg.Config.detector = Config.Oracle then begin
+        let detect = kill_at +. cfg.Config.chaos.Machine.Chaos.detect_delay in
+        Sim.Engine.schedule sys.System.engine ~at:detect (fun () ->
+            Replica.failover sys ~dead:victim ~at:detect)
+      end)
+    (Machine.Chaos.kills cfg.Config.chaos);
+  (match (cfg.Config.detector, sys.System.transport) with
+  | Config.Oracle, _ | _, None -> ()
+  | Config.Heartbeat, Some tr ->
+      (* Heartbeats are self-rescheduling events, so left alone they would
+         keep a deadlocked engine spinning forever and starve the no-
+         progress watchdog. [active] therefore also recognizes a run that
+         can never move again — every fault transition is in the past with
+         the detection window over, every live unfinished node is blocked
+         and nothing is in flight (a recovery stuck in that state is stuck
+         for good: its pulls either landed or gave up) — and stops the
+         ticks so the queue drains into the watchdog's diagnosis. *)
+      let fault_horizon =
+        List.fold_left
+          (fun acc f ->
+            match f with
+            | Machine.Chaos.Kill { at; _ } -> Float.max acc at
+            | Machine.Chaos.Pause { until; _ } | Machine.Chaos.Partition { until; _ } ->
+                Float.max acc until)
+          0. cfg.Config.chaos.Machine.Chaos.faults
+      in
+      let interval = cfg.Config.hb_interval in
+      let timeout = Config.hb_timeout_effective cfg in
+      let quiet_after = fault_horizon +. timeout +. (10. *. interval) in
+      let live_unfinished () =
+        Array.exists
+          (fun (n : System.node_state) ->
+            (not n.System.finished) && System.is_alive sys n.System.id)
+          sys.System.nodes
+      in
+      let wedged () =
+        System.now sys > quiet_after
+        && Array.for_all
+             (fun (n : System.node_state) ->
+               n.System.finished
+               || (not (System.is_alive sys n.System.id))
+               || n.System.blocked <> None)
+             sys.System.nodes
+        && Machine.Transport.inflight_count tr = 0
+      in
+      Machine.Transport.start_heartbeats tr ~nprocs:cfg.Config.nprocs ~interval ~timeout
+        ~active:(fun () -> live_unfinished () && not (wedged ()))
+        ~on_suspect:(fun ~by ~peer ~time -> Replica.suspect sys ~by ~peer ~at:time)
+        ~on_refute:(fun ~by ~peer ~time -> Replica.refute sys ~by ~peer ~at:time));
   ignore (Sim.Engine.run sys.System.engine);
   let unfinished_live =
     Array.exists

@@ -56,6 +56,10 @@ type counters = {
   mutable repl_bytes : int;
   mutable failovers : int;
   mutable msg_peer_dead : int;
+  mutable msg_gave_up : int;
+  mutable suspicions : int;
+  mutable refutations : int;
+  mutable fenced_fetches : int;
 }
 
 let counters_copy c =
@@ -83,6 +87,10 @@ let counters_copy c =
     repl_bytes = c.repl_bytes;
     failovers = c.failovers;
     msg_peer_dead = c.msg_peer_dead;
+    msg_gave_up = c.msg_gave_up;
+    suspicions = c.suspicions;
+    refutations = c.refutations;
+    fenced_fetches = c.fenced_fetches;
   }
 
 let counters_sub a b =
@@ -110,6 +118,10 @@ let counters_sub a b =
     repl_bytes = a.repl_bytes - b.repl_bytes;
     failovers = a.failovers - b.failovers;
     msg_peer_dead = a.msg_peer_dead - b.msg_peer_dead;
+    msg_gave_up = a.msg_gave_up - b.msg_gave_up;
+    suspicions = a.suspicions - b.suspicions;
+    refutations = a.refutations - b.refutations;
+    fenced_fetches = a.fenced_fetches - b.fenced_fetches;
   }
 
 let counters_zero () =
@@ -137,6 +149,10 @@ let counters_zero () =
     repl_bytes = 0;
     failovers = 0;
     msg_peer_dead = 0;
+    msg_gave_up = 0;
+    suspicions = 0;
+    refutations = 0;
+    fenced_fetches = 0;
   }
 
 type t = {

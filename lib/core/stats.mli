@@ -55,6 +55,18 @@ type counters = {
   mutable failovers : int;  (** Pages this node was promoted to primary for. *)
   mutable msg_peer_dead : int;
       (** Sends/packets this node abandoned because the peer was dead. *)
+  mutable msg_gave_up : int;
+      (** Packets this node abandoned at the transport's retry cap — the
+          payload will never arrive. *)
+  mutable suspicions : int;
+      (** Heartbeat detector: peers this node started suspecting. *)
+  mutable refutations : int;
+      (** Heartbeat detector: suspicions this node retracted after hearing
+          the peer again (every one was a false suspicion). *)
+  mutable fenced_fetches : int;
+      (** Fetch requests this node refused because its authority over the
+          page was stale (it had been deposed / the page re-homed): the
+          epoch fence that prevents split-brain serves. *)
 }
 
 val counters_zero : unit -> counters

@@ -76,6 +76,7 @@ let resume_after_home_waits sys node waits =
                     ~bucket:Obs.Trace.Wb_home ~resource:page;
                   decr remaining;
                   if !remaining = 0 then resume sys node ~at:node.mach.Machine.Node.ck.Machine.Node.clock);
+              pf_requester = node.id;
             }
             :: hp.hp_pending)
         waits

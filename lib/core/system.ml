@@ -41,7 +41,14 @@ type home_page = {
   mutable hp_pending : pending_fetch list;
 }
 
-and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
+and pending_fetch = {
+  pf_needed : Proto.Vclock.t;
+  pf_serve : float -> unit;
+  pf_requester : int;
+      (* who asked: lets a deposed ex-home distinguish remote fetches (to
+         be fenced and dropped — the requester re-issues against the new
+         home) from its own local waits, which must survive the rejoin *)
+}
 
 (* Backup-side state for one page this node backs up ([--replicas] > 1).
    [rp_data]/[rp_flush] hold the warm copy and the per-writer cut applied
@@ -207,6 +214,17 @@ type t = {
   mutable next_span : int;  (* wait-span id allocator (causal layer) *)
   mutable finished_count : int;
   alive : bool array;  (* false once the chaos schedule killed the node *)
+  deposed : bool array;
+      (* membership view of the failure detector: true while a suspicion
+         quorum has voted the node out. Distinct from [alive] (physical
+         crash): a falsely-suspected node is deposed but alive, keeps
+         executing, and rejoins when the suspicion is refuted. *)
+  suspects : bool array array;
+      (* suspects.(by).(peer): [by] currently suspects [peer] (heartbeat
+         detector only; all false under the oracle) *)
+  page_epoch : (int, int) Hashtbl.t;
+      (* page -> authority epoch, bumped at every promotion; a serve from
+         an older epoch is fenced off (no split-brain double-home) *)
   repl_tbl : (int, int array) Hashtbl.t;
       (* page -> replica ranks (the original home, then the next node ids
          mod nprocs); populated by malloc only when [replicas] > 1 *)
@@ -337,9 +355,11 @@ let transport_notify t ~time (n : Machine.Transport.notice) =
       c.Stats.protocol_bytes <- c.Stats.protocol_bytes + Machine.Transport.ack_bytes;
       if observing t then event_at t ~node:dst ~time (Obs.Trace.Msg_ack { dst = src; upto })
   | Machine.Transport.Gave_up { src; dst = _; seq = _; retries = _ } ->
-      (* Retry cap breached: the payload will never arrive. Surface it in
-         the trace immediately; the runtime watchdog turns the resulting
-         quiescence into a Deadlock with the full dump. *)
+      (* Retry cap breached: the payload will never arrive. Count it,
+         surface it in the trace immediately; the runtime watchdog turns
+         the resulting quiescence into a Deadlock with the full dump. *)
+      let c = t.nodes.(src).stats.Stats.c in
+      c.Stats.msg_gave_up <- c.Stats.msg_gave_up + 1;
       let inflight =
         match t.transport with
         | Some tr -> Machine.Transport.inflight_count tr
@@ -362,7 +382,10 @@ let create (cfg : Config.t) =
   let nprocs = cfg.Config.nprocs in
   let layout = Mem.Layout.create ~page_words:cfg.Config.page_words in
   let chaos =
-    if Config.chaos_enabled cfg then
+    (* The heartbeat detector needs the chaos plan (and the transport it
+       parameterizes) even when the plan itself is inert: its pings ride
+       the per-link verdict streams and the transport's timing model. *)
+    if Config.transport_enabled cfg then
       Some (Machine.Chaos.create cfg.Config.chaos ~nprocs)
     else None
   in
@@ -438,6 +461,9 @@ let create (cfg : Config.t) =
       next_span = 0;
       finished_count = 0;
       alive = Array.make nprocs true;
+      deposed = Array.make nprocs false;
+      suspects = Array.make_matrix nprocs nprocs false;
+      page_epoch = Hashtbl.create 16;
       repl_tbl = Hashtbl.create 16;
       failover_stalls = [];
       failover_at = Hashtbl.create 8;
@@ -953,11 +979,31 @@ let replicated t = t.cfg.Config.replicas > 1
 
 let is_alive t node = Array.unsafe_get t.alive node
 
+(* Voted out by a suspicion quorum (heartbeat detector). Orthogonal to
+   [is_alive]: a deposed node may be perfectly alive (false suspicion) and
+   will rejoin once refuted. *)
+let is_deposed t node = Array.unsafe_get t.deposed node
+
+(* In the cluster's current membership view: physically up and not voted
+   out. Promotion targets and quorum electorates use this, never bare
+   [is_alive]. *)
+let is_member t node = is_alive t node && not (is_deposed t node)
+
+(* Authority epoch of [page]: bumped at every promotion. A node serving
+   the page compares the epoch it held authority under with the current
+   one; a mismatch means it was deposed in between and must fence. *)
+let epoch_of t page =
+  match Hashtbl.find_opt t.page_epoch page with Some e -> e | None -> 0
+
+let bump_epoch t page = Hashtbl.replace t.page_epoch page (epoch_of t page + 1)
+
 let replica_ranks t page = Hashtbl.find_opt t.repl_tbl page
 
-(* First live member of [page]'s replica set, if any: the promotion target
-   of a home-based failover, and the node homeless protocols route around
-   a dead writer/keeper through. *)
+(* First member of [page]'s replica set, if any: the promotion target of a
+   home-based failover, and the node homeless protocols route around a
+   dead writer/keeper through. Skips deposed ranks too — promoting a node
+   the quorum just voted out (it may be alive behind a partition) would
+   manufacture the very split-brain the epochs exist to prevent. *)
 let live_replica t page =
   match replica_ranks t page with
   | None -> None
@@ -965,7 +1011,7 @@ let live_replica t page =
       let n = Array.length ranks in
       let rec go i =
         if i >= n then None
-        else if Array.unsafe_get t.alive ranks.(i) then Some ranks.(i)
+        else if is_member t ranks.(i) then Some ranks.(i)
         else go (i + 1)
       in
       go 0

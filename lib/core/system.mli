@@ -39,7 +39,14 @@ type home_page = {
   mutable hp_pending : pending_fetch list;
 }
 
-and pending_fetch = { pf_needed : Proto.Vclock.t; pf_serve : float -> unit }
+and pending_fetch = {
+  pf_needed : Proto.Vclock.t;
+  pf_serve : float -> unit;
+  pf_requester : int;
+      (** Who asked: lets a deposed ex-home distinguish remote fetches (to
+          be fenced and dropped — the requester re-issues against the new
+          home) from its own local waits, which must survive the rejoin. *)
+}
 
 (** Backup-side state for one page this node backs up ([replicas] > 1).
     [rp_data]/[rp_flush] are the warm copy and the per-writer cut applied
@@ -163,6 +170,17 @@ type t = {
   mutable next_span : int;  (** Wait-span id allocator (causal layer). *)
   mutable finished_count : int;
   alive : bool array;  (** [false] once the chaos schedule killed the node. *)
+  deposed : bool array;
+      (** Membership view of the failure detector: [true] while a suspicion
+          quorum has voted the node out. Distinct from [alive] (physical
+          crash): a falsely-suspected node is deposed but alive, keeps
+          executing, and rejoins when the suspicion is refuted. *)
+  suspects : bool array array;
+      (** [suspects.(by).(peer)]: [by] currently suspects [peer] (heartbeat
+          detector only; all [false] under the oracle). *)
+  page_epoch : (int, int) Hashtbl.t;
+      (** page -> authority epoch, bumped at every promotion; a serve from
+          an older epoch is fenced off (no split-brain double-home). *)
   repl_tbl : (int, int array) Hashtbl.t;
       (** page -> replica ranks (home first, then the next node ids mod
           nprocs); populated by {!malloc} only when [replicas] > 1. *)
@@ -394,6 +412,24 @@ val replicated : t -> bool
 
 (** Whether the node is still up (true until the chaos schedule kills it). *)
 val is_alive : t -> int -> bool
+
+(** Voted out by a suspicion quorum (heartbeat detector). Orthogonal to
+    {!is_alive}: a deposed node may be perfectly alive (false suspicion)
+    and will rejoin once refuted. *)
+val is_deposed : t -> int -> bool
+
+(** In the cluster's current membership view: physically up and not voted
+    out. Promotion targets and quorum electorates use this, never bare
+    {!is_alive}. *)
+val is_member : t -> int -> bool
+
+(** Authority epoch of the page: 0 until the first promotion, bumped at
+    every one. A node serving the page compares the epoch it held authority
+    under with the current one; a mismatch means it was deposed in between
+    and must fence. *)
+val epoch_of : t -> int -> int
+
+val bump_epoch : t -> int -> unit
 
 (** The page's replica ranks, or [None] when [replicas] = 1. *)
 val replica_ranks : t -> int -> int array option

@@ -149,7 +149,10 @@ let run_killed ~nprocs ~replicas ~scheme proto (app : Apps.Registry.t) =
         | _ -> ());
   let kill_at = !last +. (0.5 *. (clean.Svm.Runtime.r_elapsed -. !last)) in
   let chaos =
-    { Machine.Chaos.none with Machine.Chaos.kill = Some (victim, kill_at) }
+    {
+      Machine.Chaos.none with
+      Machine.Chaos.faults = [ Machine.Chaos.Kill { node = victim; at = kill_at } ];
+    }
   in
   let cfg = Svm.Config.make ~nprocs ~replicas ~repl_scheme:scheme ~chaos proto in
   let killed = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true) in
@@ -303,3 +306,364 @@ let availability_report ppf ?pool ?scale ?nprocs ?degrees () =
   let bad = List.filter (fun r -> not r.a_ok) rows in
   Format.fprintf ppf "@.%d cell(s), %d divergence(s)@." (List.length rows) (List.length bad);
   bad = []
+
+(* ------------------------------------------------------------------ *)
+(* Partition differential sweep                                       *)
+
+(* The property extends to network partitions: a partition that heals
+   before the run ends may stall progress (links are severed; the reliable
+   transport retransmits across the heal) and — under the heartbeat
+   detector — falsely depose the minority side, but it must never change
+   the computed result. Every cell's digest is compared against its
+   fault-free twin's, under both detectors: [Oracle] exercises pure
+   retransmission healing (no failover can happen), [Heartbeat] exercises
+   the whole suspicion -> quorum depose -> failover -> refute -> rejoin
+   cycle. *)
+
+type part_row = {
+  p_app : string;
+  p_proto : Svm.Config.protocol;
+  p_group : int list;  (** the side cut off from the rest *)
+  p_detector : Svm.Config.detector;
+  p_ok : bool;
+  p_digest : int64;
+  p_expected : int64;
+  p_suspicions : int;
+  p_refutations : int;
+  p_deposes : int;
+  p_rejoins : int;
+  p_fenced : int;
+}
+
+(* Place the partition mid-run, wide enough that a suspicion timeout at the
+   default heartbeat cadence (~700 us) always elapses inside the window. *)
+let partition_window elapsed =
+  let from_ = 0.35 *. elapsed in
+  (from_, from_ +. Float.max 3000. (0.2 *. elapsed))
+
+let count_kind sink pred =
+  let n = ref 0 in
+  Obs.Trace.iter sink (fun ev -> if pred ev.Obs.Trace.kind then incr n);
+  !n
+
+let run_partitioned ~nprocs ~replicas ~detector ~group proto (app : Apps.Registry.t) =
+  let cfg = Svm.Config.make ~nprocs ~replicas proto in
+  let clean = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true) in
+  let from_, until = partition_window clean.Svm.Runtime.r_elapsed in
+  let chaos =
+    {
+      Machine.Chaos.none with
+      Machine.Chaos.faults = [ Machine.Chaos.Partition { group; from_; until } ];
+    }
+  in
+  let cfg = Svm.Config.make ~nprocs ~replicas ~chaos ~detector proto in
+  let sink = Obs.Trace.create_sink () in
+  let parted = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:true) in
+  (clean, parted, sink)
+
+(* Two placements: a lone minority node (the quorum deposes it under the
+   heartbeat detector) and an even split (neither side can muster a strict
+   majority — nobody may be deposed, the partition only stalls). *)
+let default_groups ~nprocs = [ [ nprocs - 1 ]; List.init (nprocs / 2) (fun i -> nprocs - 1 - i) ]
+
+let partition_sweep ?(pool = Pool.sequential) ?(scale = Apps.Registry.Test) ?(nprocs = 4)
+    ?(replicas = 2) ?groups () =
+  let groups = match groups with Some g -> g | None -> default_groups ~nprocs in
+  let apps =
+    List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
+  in
+  let tasks =
+    List.concat_map
+      (fun proto -> List.map (fun (app : Apps.Registry.t) -> (proto, app)) apps)
+      replicable
+  in
+  Pool.map pool
+    (fun (proto, (app : Apps.Registry.t)) ->
+      List.concat_map
+        (fun group ->
+          List.map
+            (fun detector ->
+              let clean, parted, sink =
+                run_partitioned ~nprocs ~replicas ~detector ~group proto app
+              in
+              let expected = clean.Svm.Runtime.r_mem_digest in
+              {
+                p_app = app.Apps.Registry.name;
+                p_proto = proto;
+                p_group = group;
+                p_detector = detector;
+                p_ok = Int64.equal parted.Svm.Runtime.r_mem_digest expected;
+                p_digest = parted.Svm.Runtime.r_mem_digest;
+                p_expected = expected;
+                p_suspicions = sum_counter parted (fun c -> c.Svm.Stats.suspicions);
+                p_refutations = sum_counter parted (fun c -> c.Svm.Stats.refutations);
+                p_deposes =
+                  count_kind sink (function Obs.Trace.Depose _ -> true | _ -> false);
+                p_rejoins =
+                  count_kind sink (function Obs.Trace.Rejoin _ -> true | _ -> false);
+                p_fenced = sum_counter parted (fun c -> c.Svm.Stats.fenced_fetches);
+              })
+            [ Svm.Config.Oracle; Svm.Config.Heartbeat ])
+        groups)
+    tasks
+  |> List.concat
+
+let group_name g = String.concat "," (List.map string_of_int g)
+
+let partition_report ppf ?pool ?scale ?nprocs ?replicas ?groups () =
+  let rows = partition_sweep ?pool ?scale ?nprocs ?replicas ?groups () in
+  Format.fprintf ppf "@.=== Partition soak: healed partitions never change results ===@.@.";
+  Format.fprintf ppf "%-10s %-6s %-6s %-9s %8s %7s %7s %7s %7s  %s@." "app" "proto" "cut"
+    "detector" "suspects" "refutes" "deposes" "rejoins" "fenced" "digest";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-6s %-6s %-9s %8d %7d %7d %7d %7d  %016Lx %s@." r.p_app
+        (String.lowercase_ascii (Svm.Config.protocol_name r.p_proto))
+        (group_name r.p_group)
+        (Svm.Config.detector_name r.p_detector)
+        r.p_suspicions r.p_refutations r.p_deposes r.p_rejoins r.p_fenced r.p_digest
+        (if r.p_ok then "ok" else Printf.sprintf "MISMATCH (expected %016Lx)" r.p_expected))
+    rows;
+  (* Sanity over the whole table, not per cell (whether a *given* cell
+     deposes depends on timing): oracle cells must never depose, and no
+     even-split cell may ever depose anyone (no strict majority exists). *)
+  let impossible =
+    List.filter
+      (fun r ->
+        (r.p_detector = Svm.Config.Oracle && (r.p_deposes > 0 || r.p_suspicions > 0))
+        || (2 * List.length r.p_group >= (match nprocs with Some n -> n | None -> 4)
+           && r.p_deposes > 0))
+      rows
+  in
+  let bad = List.filter (fun r -> not r.p_ok) rows in
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "IMPOSSIBLE: %s/%s cut=%s %s deposed %d suspected %d@." r.p_app
+        (Svm.Config.protocol_name r.p_proto) (group_name r.p_group)
+        (Svm.Config.detector_name r.p_detector)
+        r.p_deposes r.p_suspicions)
+    impossible;
+  Format.fprintf ppf "@.%d cell(s), %d divergence(s), %d impossible detector outcome(s)@."
+    (List.length rows) (List.length bad) (List.length impossible);
+  bad = [] && impossible = []
+
+(* ------------------------------------------------------------------ *)
+(* False-suspicion soak                                               *)
+
+(* The sharpest robustness property of the detector stack: pause a node
+   past the suspicion timeout so the quorum *wrongly* deposes it (it is
+   alive — a gray failure), let it resume, and require (a) the digest to
+   match the fault-free twin — no split brain, no lost update — and (b) the
+   victim to be deposed, to rejoin, and to demonstrably participate after
+   the heal. *)
+
+type suspicion_row = {
+  f_app : string;
+  f_proto : Svm.Config.protocol;
+  f_scheme : Svm.Config.repl_scheme;
+  f_ok : bool;
+  f_digest : int64;
+  f_expected : int64;
+  f_deposed : bool;
+  f_rejoined : bool;
+  f_active_after : bool;  (** the victim fetched or synchronized post-rejoin *)
+  f_detect_us : float;  (** first suspicion of the victim minus pause start *)
+}
+
+let run_suspected ~nprocs ~replicas ~scheme proto (app : Apps.Registry.t) =
+  let cfg = Svm.Config.make ~nprocs ~replicas ~repl_scheme:scheme proto in
+  let clean = Svm.Runtime.run cfg (app.Apps.Registry.body ~verify:true) in
+  let victim = nprocs - 1 in
+  let from_ = 0.4 *. clean.Svm.Runtime.r_elapsed in
+  (* Four suspicion timeouts: the quorum always deposes well inside the
+     window, and the refutation only arrives after the resume. *)
+  let until = from_ +. Float.max 3000. (4. *. 700.) in
+  let chaos =
+    {
+      Machine.Chaos.none with
+      Machine.Chaos.faults = [ Machine.Chaos.Pause { node = victim; from_; until } ];
+    }
+  in
+  let cfg =
+    Svm.Config.make ~nprocs ~replicas ~repl_scheme:scheme ~chaos
+      ~detector:Svm.Config.Heartbeat proto
+  in
+  let sink = Obs.Trace.create_sink () in
+  let paused = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:true) in
+  (clean, paused, sink, victim, from_)
+
+let false_suspicion_sweep ?(pool = Pool.sequential) ?(scale = Apps.Registry.Test)
+    ?(nprocs = 4) ?(replicas = 2) () =
+  let apps =
+    List.filter_map (fun name -> Apps.Registry.find name scale) Apps.Registry.names
+  in
+  let tasks =
+    List.concat_map
+      (fun proto -> List.map (fun (app : Apps.Registry.t) -> (proto, app)) apps)
+      replicable
+  in
+  Pool.map pool
+    (fun (proto, (app : Apps.Registry.t)) ->
+      List.map
+        (fun scheme ->
+          let clean, paused, sink, victim, pause_at =
+            run_suspected ~nprocs ~replicas ~scheme proto app
+          in
+          let expected = clean.Svm.Runtime.r_mem_digest in
+          let deposed = ref false and rejoin_at = ref Float.infinity in
+          let active_after = ref false and first_suspect = ref Float.infinity in
+          Obs.Trace.iter sink (fun ev ->
+              match ev.Obs.Trace.kind with
+              | Obs.Trace.Depose { node } when node = victim -> deposed := true
+              | Obs.Trace.Rejoin { node } when node = victim ->
+                  rejoin_at := Float.min !rejoin_at ev.Obs.Trace.time
+              | Obs.Trace.Suspect { peer } when peer = victim ->
+                  first_suspect := Float.min !first_suspect ev.Obs.Trace.time
+              | (Obs.Trace.Page_fetch _ | Obs.Trace.Barrier_arrive _)
+                when ev.Obs.Trace.node = victim && ev.Obs.Trace.time > !rejoin_at ->
+                  active_after := true
+              | _ -> ());
+          {
+            f_app = app.Apps.Registry.name;
+            f_proto = proto;
+            f_scheme = scheme;
+            f_ok = Int64.equal paused.Svm.Runtime.r_mem_digest expected;
+            f_digest = paused.Svm.Runtime.r_mem_digest;
+            f_expected = expected;
+            f_deposed = !deposed;
+            f_rejoined = Float.is_finite !rejoin_at;
+            f_active_after = !active_after;
+            f_detect_us =
+              (if Float.is_finite !first_suspect then !first_suspect -. pause_at else nan);
+          })
+        [ Svm.Config.Inval; Svm.Config.Backup ])
+    tasks
+  |> List.concat
+
+let false_suspicion_report ppf ?pool ?scale ?nprocs ?replicas () =
+  let rows = false_suspicion_sweep ?pool ?scale ?nprocs ?replicas () in
+  Format.fprintf ppf
+    "@.=== False-suspicion soak: wrongly deposed nodes rejoin without split brain ===@.@.";
+  Format.fprintf ppf "%-10s %-6s %-7s %8s %8s %7s %10s  %s@." "app" "proto" "scheme"
+    "deposed" "rejoined" "active" "detect_us" "digest";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %-6s %-7s %8b %8b %7b %10.0f  %016Lx %s@." r.f_app
+        (String.lowercase_ascii (Svm.Config.protocol_name r.f_proto))
+        (Svm.Config.repl_scheme_name r.f_scheme)
+        r.f_deposed r.f_rejoined r.f_active_after r.f_detect_us r.f_digest
+        (if r.f_ok then "ok" else Printf.sprintf "MISMATCH (expected %016Lx)" r.f_expected))
+    rows;
+  let bad =
+    List.filter
+      (fun r -> not (r.f_ok && r.f_deposed && r.f_rejoined && r.f_active_after))
+      rows
+  in
+  Format.fprintf ppf "@.%d cell(s), %d failing@." (List.length rows) (List.length bad);
+  bad = []
+
+(* ------------------------------------------------------------------ *)
+(* Detector characterization                                          *)
+
+(* The classic failure-detector trade-off, measured: a short suspicion
+   timeout detects real crashes quickly but wrongly deposes nodes that are
+   merely slow (a paused-and-resumed gray failure); a long one never errs
+   but leaves the cluster blocked on a dead home for longer. One row per
+   timeout: detection latency of a real kill (depose time - kill time) and
+   whether an equally-long pause was falsely deposed. *)
+
+type detector_row = {
+  d_timeout : float;  (** suspicion timeout, us *)
+  d_detect_us : float;  (** real kill: quorum depose latency, us *)
+  d_false_depose : bool;  (** pause of [d_pause_us]: was the victim deposed? *)
+  d_pause_us : float;  (** gray-failure pause length, us *)
+  d_ok : bool;  (** both runs' digests match their fault-free twins *)
+}
+
+let detector_sweep ?(scale = Apps.Registry.Test) ?(nprocs = 4) ?(replicas = 2)
+    ?(timeouts = [ 400.; 800.; 1600.; 3200.; 6400. ]) ?(proto = Svm.Config.Hlrc) () =
+  let app =
+    match Apps.Registry.find "lu" scale with
+    | Some a -> a
+    | None -> invalid_arg "Soak.detector_sweep: no lu application"
+  in
+  let sink = Obs.Trace.create_sink () in
+  let cfg = Svm.Config.make ~nprocs ~replicas proto in
+  let clean = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:true) in
+  let expected = clean.Svm.Runtime.r_mem_digest in
+  let victim = nprocs - 1 in
+  (* Like {!kill_sweep}: the fault lands in the victim's synchronization
+     tail, where a crash-stop loses no unreplicated computation and the
+     pause's false depose is recoverable by rejoin. *)
+  let last = ref 0. in
+  Obs.Trace.iter sink (fun ev ->
+      if ev.Obs.Trace.node = victim then
+        match ev.Obs.Trace.kind with
+        | Obs.Trace.Barrier_arrive _ -> last := ev.Obs.Trace.time
+        | _ -> ());
+  let fault_at = !last +. (0.5 *. (clean.Svm.Runtime.r_elapsed -. !last)) in
+  let pause_us = 2000. in
+  List.map
+    (fun hb_timeout ->
+      let run faults =
+        let chaos = { Machine.Chaos.none with Machine.Chaos.faults } in
+        let cfg =
+          Svm.Config.make ~nprocs ~replicas ~chaos ~detector:Svm.Config.Heartbeat
+            ~hb_timeout proto
+        in
+        let sink = Obs.Trace.create_sink () in
+        let r = Svm.Runtime.run ~sink cfg (app.Apps.Registry.body ~verify:true) in
+        let depose_at = ref Float.infinity in
+        Obs.Trace.iter sink (fun ev ->
+            match ev.Obs.Trace.kind with
+            | Obs.Trace.Depose { node } when node = victim ->
+                depose_at := Float.min !depose_at ev.Obs.Trace.time
+            | _ -> ());
+        (r, !depose_at)
+      in
+      let killed, kill_depose =
+        run [ Machine.Chaos.Kill { node = victim; at = fault_at } ]
+      in
+      let paused, pause_depose =
+        run
+          [ Machine.Chaos.Pause { node = victim; from_ = fault_at; until = fault_at +. pause_us } ]
+      in
+      {
+        d_timeout = hb_timeout;
+        d_detect_us =
+          (if Float.is_finite kill_depose then kill_depose -. fault_at else infinity);
+        d_false_depose = Float.is_finite pause_depose;
+        d_pause_us = pause_us;
+        d_ok =
+          Int64.equal killed.Svm.Runtime.r_mem_digest expected
+          && Int64.equal paused.Svm.Runtime.r_mem_digest expected;
+      })
+    timeouts
+
+let detector_report ppf ?scale ?nprocs ?replicas ?timeouts ?proto () =
+  let rows = detector_sweep ?scale ?nprocs ?replicas ?timeouts ?proto () in
+  Format.fprintf ppf
+    "@.=== Detector characterization (%s): detection latency vs false failover ===@.@."
+    (Svm.Config.protocol_name (Option.value ~default:Svm.Config.Hlrc proto));
+  Format.fprintf ppf "%10s %12s %13s %10s  %s@." "timeout_us" "detect_us" "false_depose"
+    "pause_us" "digests";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%10.0f %12.0f %13b %10.0f  %s@." r.d_timeout r.d_detect_us
+        r.d_false_depose r.d_pause_us
+        (if r.d_ok then "ok" else "MISMATCH"))
+    rows;
+  (* Monotonicity is the point of the table: latency must not decrease with
+     the timeout, and once a timeout is too long for the pause to trigger,
+     every longer one must be quiet too. *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+        a.d_detect_us <= b.d_detect_us
+        && (a.d_false_depose || not b.d_false_depose)
+        && monotone rest
+    | _ -> true
+  in
+  let ok = List.for_all (fun r -> r.d_ok) rows && monotone rows in
+  Format.fprintf ppf "@.%d timeout(s)%s@." (List.length rows)
+    (if monotone rows then "" else ", NON-MONOTONE detection latency");
+  ok

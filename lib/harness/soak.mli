@@ -133,3 +133,127 @@ val availability_report :
   ?degrees:int list ->
   unit ->
   bool
+
+(** {1 Partition differential sweep}
+
+    A network partition that heals before the run ends may stall progress
+    and — under the heartbeat detector — falsely depose the minority side,
+    but must never change the computed result. Every replicable protocol
+    x application x cut placement runs under both detectors and its digest
+    is compared against a fault-free twin. *)
+
+type part_row = {
+  p_app : string;
+  p_proto : Svm.Config.protocol;
+  p_group : int list;  (** the side cut off from the rest *)
+  p_detector : Svm.Config.detector;
+  p_ok : bool;  (** digest matches the fault-free twin *)
+  p_digest : int64;
+  p_expected : int64;
+  p_suspicions : int;
+  p_refutations : int;
+  p_deposes : int;
+  p_rejoins : int;
+  p_fenced : int;  (** stale-authority serves refused by the epoch fence *)
+}
+
+(** Cut placements exercised when [?groups] is omitted: the lone last node
+    (a strict majority exists and deposes it under the heartbeat detector)
+    and the upper half (an even split — nobody can be deposed). *)
+val partition_sweep :
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  ?groups:int list list ->
+  unit ->
+  part_row list
+
+(** Run {!partition_sweep}, print the table, and return whether every cell
+    matched its twin and no detector-impossible outcome occurred (an oracle
+    cell that suspected anyone, or a depose without a strict majority). *)
+val partition_report :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  ?groups:int list list ->
+  unit ->
+  bool
+
+(** {1 False-suspicion soak}
+
+    Pause the last node past the suspicion timeout so the quorum wrongly
+    deposes it (a gray failure — the node is alive), resume it, and require
+    the digest to match the fault-free twin with the victim deposed,
+    rejoined, and demonstrably active after the heal. *)
+
+type suspicion_row = {
+  f_app : string;
+  f_proto : Svm.Config.protocol;
+  f_scheme : Svm.Config.repl_scheme;
+  f_ok : bool;  (** digest matches the fault-free twin *)
+  f_digest : int64;
+  f_expected : int64;
+  f_deposed : bool;
+  f_rejoined : bool;
+  f_active_after : bool;  (** the victim fetched or synchronized post-rejoin *)
+  f_detect_us : float;  (** first suspicion of the victim minus pause start *)
+}
+
+val false_suspicion_sweep :
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  unit ->
+  suspicion_row list
+
+(** Run {!false_suspicion_sweep}, print the table, and return whether every
+    cell matched, deposed, rejoined, and stayed active post-heal. *)
+val false_suspicion_report :
+  Format.formatter ->
+  ?pool:Pool.t ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  unit ->
+  bool
+
+(** {1 Detector characterization}
+
+    The failure-detector trade-off, measured on LU: per suspicion timeout,
+    the quorum's detection latency for a real kill and whether a fixed
+    gray-failure pause was falsely deposed. Detection latency must grow
+    monotonically with the timeout; false deposes must stop once the
+    timeout outlasts the pause. *)
+
+type detector_row = {
+  d_timeout : float;  (** suspicion timeout, us *)
+  d_detect_us : float;  (** real kill: quorum depose latency, us *)
+  d_false_depose : bool;  (** was the paused (alive) victim deposed? *)
+  d_pause_us : float;  (** gray-failure pause length, us *)
+  d_ok : bool;  (** both runs' digests match the fault-free twin *)
+}
+
+val detector_sweep :
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  ?timeouts:float list ->
+  ?proto:Svm.Config.protocol ->
+  unit ->
+  detector_row list
+
+(** Run {!detector_sweep}, print the table, and return whether every digest
+    matched and the latency column is monotone. *)
+val detector_report :
+  Format.formatter ->
+  ?scale:Apps.Registry.scale ->
+  ?nprocs:int ->
+  ?replicas:int ->
+  ?timeouts:float list ->
+  ?proto:Svm.Config.protocol ->
+  unit ->
+  bool

@@ -127,7 +127,11 @@ let report ppf ?(pool = Pool.sequential) ?(verify = true) ~scale ~np () =
      so the recovery stall is visible instead of a timing accident. *)
   let detect_delay = Float.max 500. (4. *. interval) in
   let kill_plan =
-    { Machine.Chaos.none with Machine.Chaos.kill = Some (victim, kill_at); detect_delay }
+    {
+      Machine.Chaos.none with
+      Machine.Chaos.faults = [ Machine.Chaos.Kill { node = victim; at = kill_at } ];
+      detect_delay;
+    }
   in
   let cells =
     Pool.map pool

@@ -56,6 +56,7 @@ type t = {
   links : (int * int, link) Hashtbl.t;
   mutable pool : packet list;  (* free packets, recycled by [release] *)
   dead : (int, unit) Hashtbl.t;  (* crash-stopped peers, via [kill_peer] *)
+  mutable hb_sent : int;  (* heartbeat copies put on the wire *)
 }
 
 let create ~engine ~net ~chaos ?(max_retries = 10) ~notify () =
@@ -68,12 +69,18 @@ let create ~engine ~net ~chaos ?(max_retries = 10) ~notify () =
     links = Hashtbl.create 64;
     pool = [];
     dead = Hashtbl.create 4;
+    hb_sent = 0;
   }
 
 (* A node's links are down at [time] if it crash-stopped or sits inside a
    pause (gray-failure) window of the chaos schedule. *)
 let down_at t node ~time =
   Hashtbl.mem t.dead node || Chaos.silenced (Chaos.params t.chaos) ~node ~time
+
+(* A directed link is cut at [time] if an active partition puts its
+   endpoints on opposite sides. Checked at both ends of every copy's
+   flight, so a partition also guillotines copies already in the air. *)
+let severed t ~src ~dst ~time = Chaos.severed_t t.chaos ~src ~dst ~time
 
 let dummy_handler (_ : float) = ()
 
@@ -143,7 +150,11 @@ let send_ack t l ~at ~received =
   let transfer = Network.transfer_time t.net ~src:l.l_dst ~dst:l.l_src ~bytes:ack_bytes in
   let deliver_copy delay =
     Sim.Engine.schedule t.engine ~at:(at +. transfer +. delay) (fun () ->
-        if not (down_at t l.l_src ~time:(Sim.Engine.now t.engine)) then begin
+        let now = Sim.Engine.now t.engine in
+        if
+          (not (down_at t l.l_src ~time:now))
+          && not (severed t ~src:l.l_dst ~dst:l.l_src ~time:now)
+        then begin
           let acked =
             Hashtbl.fold (fun seq _ acc -> if seq <= upto then seq :: acc else acc) l.l_inflight []
           in
@@ -151,7 +162,10 @@ let send_ack t l ~at ~received =
           Hashtbl.remove l.l_inflight received
         end)
   in
-  if v.Chaos.drop || down_at t l.l_dst ~time:at then
+  if
+    v.Chaos.drop || down_at t l.l_dst ~time:at
+    || severed t ~src:l.l_dst ~dst:l.l_src ~time:at
+  then
     t.notify ~time:at
       (Dropped { src = l.l_src; dst = l.l_dst; seq = upto; bytes = ack_bytes; ack = true })
   else deliver_copy v.Chaos.delay;
@@ -200,13 +214,20 @@ let transmit t l (p : packet) ~at =
         let now = Sim.Engine.now t.engine in
         if Hashtbl.mem t.dead l.l_dst then
           t.notify ~time:now (Peer_dead { src = l.l_src; dst = l.l_dst; seq; bytes })
-        else if down_at t l.l_dst ~time:now then
-          (* Paused receiver: the copy is lost; retransmission heals it. *)
+        else if
+          down_at t l.l_dst ~time:now
+          || severed t ~src:l.l_src ~dst:l.l_dst ~time:now
+        then
+          (* Paused receiver or partitioned link: the copy is lost;
+             retransmission heals it once the fault clears. *)
           t.notify ~time:now
             (Dropped { src = l.l_src; dst = l.l_dst; seq; bytes; ack = false })
         else receive t l ~seq ~handler ~at:now)
   in
-  if v.Chaos.drop || down_at t l.l_src ~time:at then
+  if
+    v.Chaos.drop || down_at t l.l_src ~time:at
+    || severed t ~src:l.l_src ~dst:l.l_dst ~time:at
+  then
     t.notify ~time:at
       (Dropped { src = l.l_src; dst = l.l_dst; seq = p.p_seq; bytes = p.p_bytes; ack = false })
   else copy v.Chaos.delay;
@@ -217,7 +238,12 @@ let transmit t l (p : packet) ~at =
 
 let rec arm_timer t l (p : packet) ~at =
   p.p_refs <- p.p_refs + 1;
-  Sim.Engine.schedule t.engine ~at:(at +. p.p_rto) (fun () ->
+  (* Seeded per-link jitter on the armed delay (the nominal [p_rto] keeps
+     doubling cleanly): without it, every sender stranded by a partition
+     fires its timer in lockstep when the link heals — a synchronized
+     retransmit storm. *)
+  let delay = p.p_rto *. Chaos.backoff_factor t.chaos ~src:l.l_src ~dst:l.l_dst in
+  Sim.Engine.schedule t.engine ~at:(at +. delay) (fun () ->
       if not (Hashtbl.mem l.l_inflight p.p_seq) then release t l p
       else begin
         let now = Sim.Engine.now t.engine in
@@ -266,6 +292,81 @@ let send t ~src ~dst ~at ~bytes handler =
     transmit t l p ~at;
     arm_timer t l p ~at
   end
+
+(* --- heartbeats ------------------------------------------------------ *)
+
+let hb_bytes = 8
+
+(* Heartbeats are deliberately *unreliable*: no sequence numbers, no
+   retransmission, no acks — a missed ping is exactly the signal the
+   suspector exists to interpret. Each copy is charged to the timing model
+   ([Network.transfer_time] plus the chaos verdict's jitter) and judged on
+   the same per-link streams as payload traffic, so a lossy or partitioned
+   link starves the observer honestly. Nothing is notified per heartbeat
+   (they would drown the trace); [hb_sent] counts the copies for the
+   report's availability block. *)
+let start_heartbeats t ~nprocs ~interval ~timeout ~active ~on_suspect ~on_refute =
+  if interval <= 0. then invalid_arg "Transport.start_heartbeats: interval must be > 0";
+  if timeout <= 0. then invalid_arg "Transport.start_heartbeats: timeout must be > 0";
+  let start = Sim.Engine.now t.engine in
+  (* observer -> peer matrices; [last.(o).(p)] = last time o heard p. *)
+  let last = Array.make_matrix nprocs nprocs start in
+  let suspected = Array.make_matrix nprocs nprocs false in
+  (* Seeded per-node phase offsets desynchronize the emission ticks (and
+     therefore the suspicion checks) across nodes. *)
+  let phase_rng =
+    Sim.Rng.create ~seed:((Chaos.params t.chaos).Chaos.fault_seed + 0x48b2)
+  in
+  let phases = Array.init nprocs (fun _ -> Sim.Rng.float phase_rng interval) in
+  let beam node peer ~now =
+    let v = Chaos.judge t.chaos ~src:node ~dst:peer in
+    let transfer = Network.transfer_time t.net ~src:node ~dst:peer ~bytes:hb_bytes in
+    t.hb_sent <- t.hb_sent + 1;
+    if
+      (not v.Chaos.drop)
+      && (not (down_at t node ~time:now))
+      && not (severed t ~src:node ~dst:peer ~time:now)
+    then
+      Sim.Engine.schedule t.engine ~at:(now +. transfer +. v.Chaos.delay) (fun () ->
+          let arrival = Sim.Engine.now t.engine in
+          if
+            (not (Hashtbl.mem t.dead peer))
+            && (not (down_at t peer ~time:arrival))
+            && not (severed t ~src:node ~dst:peer ~time:arrival)
+          then begin
+            last.(peer).(node) <- arrival;
+            if suspected.(peer).(node) then begin
+              suspected.(peer).(node) <- false;
+              on_refute ~by:peer ~peer:node ~time:arrival
+            end
+          end)
+  in
+  (* One tick per node per interval: emit a ping to every peer, then audit
+     the node's own view for peers gone quiet past the timeout. A killed
+     node's tick stops re-arming (and with it its suspicions); a paused
+     node keeps ticking — it cannot hear anyone, so it suspects everyone,
+     which is precisely the false-suspicion storm quorum must survive. *)
+  let rec tick node () =
+    let now = Sim.Engine.now t.engine in
+    if active () && not (Hashtbl.mem t.dead node) then begin
+      for peer = 0 to nprocs - 1 do
+        if peer <> node then begin
+          if not (Hashtbl.mem t.dead peer) then beam node peer ~now;
+          if (not suspected.(node).(peer)) && now -. last.(node).(peer) > timeout
+          then begin
+            suspected.(node).(peer) <- true;
+            on_suspect ~by:node ~peer ~time:now
+          end
+        end
+      done;
+      Sim.Engine.schedule t.engine ~at:(now +. interval) (tick node)
+    end
+  in
+  for node = 0 to nprocs - 1 do
+    Sim.Engine.schedule t.engine ~at:(start +. phases.(node)) (tick node)
+  done
+
+let heartbeats_sent t = t.hb_sent
 
 (* --- diagnostics ---------------------------------------------------- *)
 

@@ -70,10 +70,37 @@ val send : t -> src:int -> dst:int -> at:float -> bytes:int -> (float -> unit) -
     nothing in flight and releases the packet to the pool — no
     retransmission storm at the retry cap) and reported as {!Peer_dead};
     later sends to or from the peer are refused up front the same way.
-    Nodes inside a {!Chaos.params.pause} window are handled without this
-    call: their copies are treated as network drops and heal by
-    retransmission once the window closes. *)
+    Nodes inside a {!Chaos.fault.Pause} window (and links cut by a
+    {!Chaos.fault.Partition}) are handled without this call: their copies
+    are treated as network drops and heal by retransmission once the fault
+    clears. *)
 val kill_peer : t -> peer:int -> time:float -> unit
+
+(** [start_heartbeats t ~nprocs ~interval ~timeout ~active ~on_suspect
+    ~on_refute] starts the failure-detector plumbing: every node emits an
+    unreliable [hb_bytes] ping to every live peer once per [interval]
+    (seeded per-node phase offsets desynchronize the ticks), charged to the
+    timing model and judged on the same per-link chaos streams as payload
+    traffic — no sequence numbers, no retransmission. At each of its own
+    ticks a node also audits its view: a peer not heard from for more than
+    [timeout] microseconds raises [on_suspect ~by ~peer] once; a later
+    heartbeat from a suspected peer (pause or partition healed) raises
+    [on_refute] and clears the suspicion. Emission stops for crash-stopped
+    nodes and, globally, once [active ()] turns false (so the simulation
+    can drain). Suspicions are local opinions — turning them into failover
+    (quorum, fencing) is the caller's job. *)
+val start_heartbeats :
+  t ->
+  nprocs:int ->
+  interval:float ->
+  timeout:float ->
+  active:(unit -> bool) ->
+  on_suspect:(by:int -> peer:int -> time:float -> unit) ->
+  on_refute:(by:int -> peer:int -> time:float -> unit) ->
+  unit
+
+(** Heartbeat copies put on the wire so far (sent, not delivered). *)
+val heartbeats_sent : t -> int
 
 (** Packets currently awaiting acknowledgement, across all links. *)
 val inflight_count : t -> int

@@ -48,6 +48,11 @@ type kind =
   | Failover of { page : int; from_ : int; to_ : int }
   | Repl_update of { page : int; dst : int; bytes : int }
   | Repl_inval of { page : int; dst : int }
+  | Suspect of { peer : int }
+  | Refute of { peer : int }
+  | Depose of { node : int }
+  | Rejoin of { node : int }
+  | Fenced_fetch of { page : int; requester : int }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -89,6 +94,11 @@ let kind_name = function
   | Failover _ -> "failover"
   | Repl_update _ -> "repl_update"
   | Repl_inval _ -> "repl_inval"
+  | Suspect _ -> "suspect"
+  | Refute _ -> "refute"
+  | Depose _ -> "depose"
+  | Rejoin _ -> "rejoin"
+  | Fenced_fetch _ -> "fenced_fetch"
 
 let kind_fields = function
   | Page_fetch { page; home } -> [ ("page", Json.Int page); ("home", Json.Int home) ]
@@ -163,6 +173,14 @@ let kind_fields = function
   | Repl_update { page; dst; bytes } ->
       [ ("page", Json.Int page); ("dst", Json.Int dst); ("bytes", Json.Int bytes) ]
   | Repl_inval { page; dst } -> [ ("page", Json.Int page); ("dst", Json.Int dst) ]
+  | Suspect { peer } -> [ ("peer", Json.Int peer) ]
+  | Refute { peer } -> [ ("peer", Json.Int peer) ]
+  (* "victim", not "node": the envelope already has a "node" field (the
+     emitting node — a deposing voter / the rejoiner itself). *)
+  | Depose { node } -> [ ("victim", Json.Int node) ]
+  | Rejoin { node } -> [ ("victim", Json.Int node) ]
+  | Fenced_fetch { page; requester } ->
+      [ ("page", Json.Int page); ("requester", Json.Int requester) ]
 
 let to_json ev =
   Json.Obj
@@ -240,6 +258,15 @@ let render = function
       Some (Printf.sprintf "replication: update for page %d to backup %d (%d bytes)" page dst bytes)
   | Repl_inval { page; dst } ->
       Some (Printf.sprintf "replication: invalidate page %d at backup %d" page dst)
+  (* Heartbeat-detector kinds (newer still): free-form lines. *)
+  | Suspect { peer } -> Some (Printf.sprintf "detector: suspecting node %d (silent past timeout)" peer)
+  | Refute { peer } -> Some (Printf.sprintf "detector: heard node %d again, suspicion retracted" peer)
+  | Depose { node } -> Some (Printf.sprintf "detector: quorum deposed node %d" node)
+  | Rejoin { node } -> Some (Printf.sprintf "detector: node %d rejoined as fresh replica" node)
+  | Fenced_fetch { page; requester } ->
+      Some
+        (Printf.sprintf "fence: refused stale-authority serve of page %d to node %d" page
+           requester)
   (* Causal-layer kinds (spans, counter samples, reply correlation) are
      opt-in and machine-oriented; they have no legacy line either. *)
   | Diff_create _ | Diff_apply _ | Write_notice _ | Msg_send _ | Msg_recv _ | Wait_begin _

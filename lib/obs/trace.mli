@@ -95,6 +95,24 @@ type kind =
   | Repl_inval of { page : int; dst : int }
       (** Replication: an invalidation record sent to backup [dst]
           (invalidation scheme). *)
+  | Suspect of { peer : int }
+      (** Heartbeat detector: the emitting node has not heard [peer] for
+          longer than the suspicion timeout. *)
+  | Refute of { peer : int }
+      (** Heartbeat detector: a ping from the suspected [peer] arrived —
+          the suspicion was false and is retracted. *)
+  | Depose of { node : int }
+      (** A strict majority of live members suspect [node]: it is removed
+          from the membership view and its pages fail over (attributed to
+          the node whose suspicion completed the quorum). *)
+  | Rejoin of { node : int }
+      (** A falsely-deposed node was heard from again: it re-enters the
+          membership, discards its stale home authority, and re-fetches
+          re-homed pages as an ordinary replica. *)
+  | Fenced_fetch of { page : int; requester : int }
+      (** A fetch serve refused because the serving node's authority over
+          [page] was stale (the page was re-homed since the request was
+          accepted) — the epoch fence that prevents split-brain serves. *)
 
 type event = {
   time : float;  (** Simulated time, microseconds. *)

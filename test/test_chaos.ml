@@ -56,6 +56,28 @@ let test_chaos_validate () =
   check Alcotest.bool "nan dup rate" true (bad { base with Machine.Chaos.dup_rate = Float.nan });
   check Alcotest.bool "negative jitter" true (bad { base with Machine.Chaos.jitter = -1.0 });
   check Alcotest.bool "straggler < 1" true (bad { base with Machine.Chaos.straggler = 0.5 });
+  let faults fs = { base with Machine.Chaos.faults = fs } in
+  let kill node at = Machine.Chaos.Kill { node; at } in
+  let pause node from_ until = Machine.Chaos.Pause { node; from_; until } in
+  let part group from_ until = Machine.Chaos.Partition { group; from_; until } in
+  check Alcotest.bool "a well-formed schedule is valid" false
+    (bad (faults [ kill 2 500.; pause 1 100. 200.; part [ 1; 2 ] 50. 150. ]));
+  check Alcotest.bool "kill of node 0 (the manager)" true (bad (faults [ kill 0 100. ]));
+  check Alcotest.bool "kill at negative time" true (bad (faults [ kill 1 (-1.) ]));
+  check Alcotest.bool "pause of node 0 (the manager)" true
+    (bad (faults [ pause 0 0. 100. ]));
+  check Alcotest.bool "inverted pause window" true (bad (faults [ pause 1 200. 100. ]));
+  check Alcotest.bool "pause window overlapping the same node's kill" true
+    (bad (faults [ pause 2 100. 400.; kill 2 250. ]));
+  check Alcotest.bool "pause window ending before the kill is fine" false
+    (bad (faults [ pause 2 100. 200.; kill 2 250. ]));
+  check Alcotest.bool "empty partition group" true (bad (faults [ part [] 0. 100. ]));
+  check Alcotest.bool "partition group repeating a node" true
+    (bad (faults [ part [ 1; 2; 1 ] 0. 100. ]));
+  check Alcotest.bool "partition group with a negative node" true
+    (bad (faults [ part [ -1; 2 ] 0. 100. ]));
+  check Alcotest.bool "inverted partition window" true
+    (bad (faults [ part [ 1 ] 300. 200. ]));
   try
     ignore
       (Machine.Chaos.create { base with Machine.Chaos.drop_rate = 2.0 } ~nprocs:2);
@@ -179,9 +201,12 @@ let test_transport_gives_up () =
       { Machine.Chaos.none with Machine.Chaos.drop_rate = 1.0 }
       ~nprocs:2
   in
-  let gave_up = ref 0 in
+  let gave_up = ref 0 and retransmits = ref 0 and final_retries = ref (-1) in
   let notify ~time:_ = function
-    | Machine.Transport.Gave_up _ -> incr gave_up
+    | Machine.Transport.Gave_up { retries; _ } ->
+        incr gave_up;
+        final_retries := retries
+    | Machine.Transport.Retransmit _ -> incr retransmits
     | _ -> ()
   in
   let tr = Machine.Transport.create ~engine ~net ~chaos ~max_retries:3 ~notify () in
@@ -190,7 +215,12 @@ let test_transport_gives_up () =
   ignore (Sim.Engine.run engine);
   check Alcotest.bool "never delivered" false !delivered;
   check Alcotest.int "gave up once" 1 !gave_up;
-  check Alcotest.int "recorded as abandoned" 1 (Machine.Transport.gave_up_count tr)
+  check Alcotest.int "recorded as abandoned" 1 (Machine.Transport.gave_up_count tr);
+  (* The cap is a hard stop: exactly max_retries resends, none after. *)
+  check Alcotest.int "no retransmission past the cap" 3 !retransmits;
+  check Alcotest.int "the abandonment notice reports the cap" 3 !final_retries;
+  check Alcotest.int "nothing left in flight after giving up" 0
+    (Machine.Transport.inflight_count tr)
 
 (* --- Config plumbing ---------------------------------------------------- *)
 

@@ -91,7 +91,10 @@ let test_kill_home_mid_critical_section () =
             "%s: kill point %.0f must precede the fault-free end %.0f" name kill_at
             clean.Svm.Runtime.r_elapsed;
           let chaos =
-            { Machine.Chaos.none with Machine.Chaos.kill = Some (victim, kill_at) }
+            {
+              Machine.Chaos.none with
+              Machine.Chaos.faults = [ Machine.Chaos.Kill { node = victim; at = kill_at } ];
+            }
           in
           let cfg =
             Svm.Config.make ~nprocs:4 ~replicas:2 ~repl_scheme:scheme ~chaos proto

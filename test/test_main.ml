@@ -25,5 +25,6 @@ let () =
       ("random", Test_random.suite);
       ("chaos", Test_chaos.suite);
       ("failover", Test_failover.suite);
+      ("detector", Test_detector.suite);
       ("metrics", Test_metrics.suite);
     ]
