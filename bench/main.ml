@@ -12,7 +12,16 @@
    sor-zero aurc ablation-homes ablation-network ablation-pagesize
    ablation-locks ablation-migration ablation-fault-batch chaos-soak
    kill-soak availability partition-soak suspicion-soak detector profile
-   timeline perf micro all
+   timeline kvstore-skew perf micro all
+
+   kvstore-skew sweeps the serving workload over protocol x Zipfian skew x
+   write mix; the --kv-* flags patch its workload parameters (--kv-theta /
+   --kv-write-ratio narrow the respective sweep axis to that one value).
+   Every flag that takes a value rejects a missing or malformed one at
+   parse time, before any cell is simulated. (The failure-detector and
+   partition knobs from the availability work were never bench flags —
+   they live on svm_run only; the soak artifacts build those plans
+   internally.)
 
    --metrics-interval US turns on the sampled metrics recorder in every
    matrix cell; with --json the dump then carries a per-cell timeline
@@ -39,7 +48,7 @@ let known_artifacts =
     "sor-zero"; "aurc"; "protocols"; "ablation-homes"; "ablation-network";
     "ablation-pagesize"; "ablation-locks"; "ablation-migration"; "ablation-fault-batch"; "chaos-soak";
     "kill-soak"; "availability"; "partition-soak"; "suspicion-soak"; "detector";
-    "profile"; "timeline"; "perf"; "micro"; "all";
+    "profile"; "timeline"; "kvstore-skew"; "perf"; "micro"; "all";
   ]
 
 type options = {
@@ -56,6 +65,15 @@ type options = {
   mutable fault_batch : int;
   mutable perf_out : string option;
   mutable metrics_interval : float;
+  (* kvstore workload overrides ([None] keeps the scale default); theta and
+     write-ratio also narrow the kvstore-skew sweep axes to that value. *)
+  mutable kv_ops : int option;
+  mutable kv_rate : float option;
+  mutable kv_keys : int option;
+  mutable kv_theta : float option;
+  mutable kv_write_ratio : float option;
+  mutable kv_txn_ratio : float option;
+  mutable kv_buckets : int option;
 }
 
 let parse_args () =
@@ -74,6 +92,13 @@ let parse_args () =
       fault_batch = 1;
       perf_out = None;
       metrics_interval = 0.;
+      kv_ops = None;
+      kv_rate = None;
+      kv_keys = None;
+      kv_theta = None;
+      kv_write_ratio = None;
+      kv_txn_ratio = None;
+      kv_buckets = None;
     }
   in
   let rate name s =
@@ -82,12 +107,31 @@ let parse_args () =
     | None -> failwith (Printf.sprintf "%s: expected a number, got %S" name s)
   in
   let missing flag = failwith (Printf.sprintf "%s: missing value" flag) in
+  let pos_int flag s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | Some n -> failwith (Printf.sprintf "%s: must be at least 1, got %d" flag n)
+    | None -> failwith (Printf.sprintf "%s: expected an integer, got %S" flag s)
+  in
+  let pos_float flag s =
+    match float_of_string_opt s with
+    | Some x when x > 0. -> x
+    | Some x -> failwith (Printf.sprintf "%s: must be positive, got %g" flag x)
+    | None -> failwith (Printf.sprintf "%s: expected a number, got %S" flag s)
+  in
+  let fraction flag s =
+    match float_of_string_opt s with
+    | Some x when x >= 0. && x <= 1. -> x
+    | Some x -> failwith (Printf.sprintf "%s: must be in [0,1], got %g" flag x)
+    | None -> failwith (Printf.sprintf "%s: expected a number, got %S" flag s)
+  in
   let rec go = function
     | [] -> ()
     | [ (( "--scale" | "--nodes" | "--drop-rate" | "--dup-rate" | "--jitter"
          | "--straggler" | "--fault-seed" | "--json" | "--trace-out" | "--trace-format"
          | "--trace-cap" | "--jobs" | "--fault-batch" | "--perf-out"
-         | "--metrics-interval" ) as flag) ] ->
+         | "--metrics-interval" | "--kv-ops" | "--kv-rate" | "--kv-keys" | "--kv-theta"
+         | "--kv-write-ratio" | "--kv-txn-ratio" | "--kv-buckets" ) as flag) ] ->
         missing flag
     | "--scale" :: s :: rest ->
         (o.scale <-
@@ -167,6 +211,31 @@ let parse_args () =
           | Some x when x >= 0. -> x
           | Some x -> failwith (Printf.sprintf "--metrics-interval: must be >= 0, got %g" x)
           | None -> failwith (Printf.sprintf "--metrics-interval: expected a number, got %S" s)));
+        go rest
+    | "--kv-ops" :: s :: rest ->
+        o.kv_ops <- Some (pos_int "--kv-ops" s);
+        go rest
+    | "--kv-rate" :: s :: rest ->
+        o.kv_rate <- Some (pos_float "--kv-rate" s);
+        go rest
+    | "--kv-keys" :: s :: rest ->
+        o.kv_keys <- Some (pos_int "--kv-keys" s);
+        go rest
+    | "--kv-theta" :: s :: rest ->
+        (o.kv_theta <-
+          (match float_of_string_opt s with
+          | Some x when x >= 0. && x < 1. -> Some x
+          | Some x -> failwith (Printf.sprintf "--kv-theta: must be in [0,1), got %g" x)
+          | None -> failwith (Printf.sprintf "--kv-theta: expected a number, got %S" s)));
+        go rest
+    | "--kv-write-ratio" :: s :: rest ->
+        o.kv_write_ratio <- Some (fraction "--kv-write-ratio" s);
+        go rest
+    | "--kv-txn-ratio" :: s :: rest ->
+        o.kv_txn_ratio <- Some (fraction "--kv-txn-ratio" s);
+        go rest
+    | "--kv-buckets" :: s :: rest ->
+        o.kv_buckets <- Some (pos_int "--kv-buckets" s);
         go rest
     | "--jobs" :: s :: rest ->
         (o.jobs <-
@@ -401,6 +470,36 @@ let () =
     | "timeline" ->
         let np = match o.nodes with n :: _ when n >= 2 -> n | _ -> 8 in
         Harness.Timeline.report ppf ~pool ~verify:o.verify ~scale:o.scale ~np ()
+    | "kvstore-skew" ->
+        let np = match o.nodes with n :: _ when n >= 2 -> n | _ -> 8 in
+        let base = Apps.Registry.kvstore_params o.scale in
+        let ov v dflt = Option.value v ~default:dflt in
+        let tp = base.Apps.Kvstore.traffic in
+        let params =
+          {
+            base with
+            Apps.Kvstore.buckets = ov o.kv_buckets base.Apps.Kvstore.buckets;
+            traffic =
+              {
+                tp with
+                Traffic.ops = ov o.kv_ops tp.Traffic.ops;
+                rate = ov o.kv_rate tp.Traffic.rate;
+                keys = ov o.kv_keys tp.Traffic.keys;
+                txn_ratio = ov o.kv_txn_ratio tp.Traffic.txn_ratio;
+              };
+          }
+        in
+        (* --kv-theta / --kv-write-ratio pin the corresponding sweep axis. *)
+        let thetas =
+          match o.kv_theta with Some t -> [ t ] | None -> Harness.Serving.default_thetas
+        in
+        let write_ratios =
+          match o.kv_write_ratio with
+          | Some w -> [ w ]
+          | None -> Harness.Serving.default_write_ratios
+        in
+        Harness.Serving.report ppf ~pool ~scale:o.scale ~nprocs:np ~thetas ~write_ratios
+          ~params ()
     | "micro" -> micro ()
     | "all" ->
         List.iter run

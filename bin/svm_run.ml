@@ -13,7 +13,7 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     json_out trace_out trace_format trace_cap profile drop_rate dup_rate jitter straggler
     fault_seed fault_batch kill_node kill_at detect_delay pause_node pause_at resume_at
     partition_group partition_at heal_at detector_name hb_interval hb_timeout
-    replicas repl_scheme_name metrics metrics_interval metrics_out =
+    replicas repl_scheme_name metrics metrics_interval metrics_out kv =
   let scale =
     match String.lowercase_ascii scale_name with
     | "test" -> Apps.Registry.Test
@@ -32,13 +32,44 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     | Some fmt -> fmt
     | None -> failwith (Printf.sprintf "unknown trace format %S (jsonl|chrome)" trace_format)
   in
+  let kv_ops, kv_rate, kv_keys, kv_theta, kv_write_ratio, kv_txn_ratio, kv_buckets = kv in
+  let kv_given =
+    kv_ops <> None || kv_rate <> None || kv_keys <> None || kv_theta <> None
+    || kv_write_ratio <> None || kv_txn_ratio <> None || kv_buckets <> None
+  in
   let app =
-    match Apps.Registry.find app_name scale with
-    | Some a -> a
-    | None ->
+    (* --kv-* knobs patch the scale's default kvstore parameters; for any
+       other app they are a mistake, not silently ignored. *)
+    if String.lowercase_ascii app_name = Apps.Kvstore.name then begin
+      let base = Apps.Registry.kvstore_params scale in
+      let ov v dflt = Option.value v ~default:dflt in
+      let tp = base.Apps.Kvstore.traffic in
+      let tp =
+        {
+          tp with
+          Traffic.ops = ov kv_ops tp.Traffic.ops;
+          rate = ov kv_rate tp.Traffic.rate;
+          keys = ov kv_keys tp.Traffic.keys;
+          theta = ov kv_theta tp.Traffic.theta;
+          write_ratio = ov kv_write_ratio tp.Traffic.write_ratio;
+          txn_ratio = ov kv_txn_ratio tp.Traffic.txn_ratio;
+        }
+      in
+      Apps.Registry.kvstore_of_params
+        { base with Apps.Kvstore.buckets = ov kv_buckets base.Apps.Kvstore.buckets; traffic = tp }
+    end
+    else begin
+      if kv_given then
         failwith
-          (Printf.sprintf "unknown application %S (%s)" app_name
-             (String.concat "|" Apps.Registry.names))
+          (Printf.sprintf "--kv-* flags apply only to --app %s (got --app %s)"
+             Apps.Kvstore.name app_name);
+      match Apps.Registry.find app_name scale with
+      | Some a -> a
+      | None ->
+          failwith
+            (Printf.sprintf "unknown application %S (%s)" app_name
+               (String.concat "|" Apps.Registry.names))
+    end
   in
   let repl_scheme =
     match Svm.Config.repl_scheme_of_string repl_scheme_name with
@@ -136,6 +167,23 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
     (Svm.Runtime.total_messages r)
     (float_of_int (Svm.Runtime.total_update_bytes r) /. 1048576.0)
     (float_of_int (Svm.Runtime.total_protocol_bytes r) /. 1048576.0);
+  (match r.Svm.Runtime.r_ops with
+  | None -> ()
+  | Some o ->
+      let n = o.Svm.Runtime.or_gets + o.Svm.Runtime.or_puts + o.Svm.Runtime.or_txns in
+      let throughput =
+        if r.Svm.Runtime.r_elapsed > 0. then
+          float_of_int n /. (r.Svm.Runtime.r_elapsed /. 1_000_000.)
+        else 0.
+      in
+      Format.printf "serving     : %d ops (%d get / %d put / %d txn), %.0f ops/s@." n
+        o.Svm.Runtime.or_gets o.Svm.Runtime.or_puts o.Svm.Runtime.or_txns throughput;
+      let lats = o.Svm.Runtime.or_lats in
+      let pct q = match Svm.Stats.quantile lats q with Some v -> v | None -> 0. in
+      if Array.length lats > 0 then
+        Format.printf "op latency  : p50 %.0f us, p99 %.0f us, max %.0f us@." (pct 0.5)
+          (pct 0.99)
+          lats.(Array.length lats - 1));
   if Svm.Config.chaos_enabled cfg then begin
     let sum field =
       Array.fold_left (fun acc n -> acc + field n.Svm.Runtime.nr_counters) 0 r.Svm.Runtime.r_nodes
@@ -218,9 +266,10 @@ let run app_name proto_name nprocs scale_name verify trace seed breakdown migrat
       List.iter
         (fun (name, h) ->
           let st = Obs.Metrics.histogram_stats h in
-          Format.printf "  %-20s %8d %9.0f %9.0f %9.0f %9.0f@." name st.Obs.Metrics.hs_count
-            st.Obs.Metrics.hs_p50 st.Obs.Metrics.hs_p90 st.Obs.Metrics.hs_p99
-            st.Obs.Metrics.hs_max)
+          let pct = function Some v -> Printf.sprintf "%9.0f" v | None -> "        -" in
+          Format.printf "  %-20s %8d %s %s %s %9.0f@." name st.Obs.Metrics.hs_count
+            (pct st.Obs.Metrics.hs_p50) (pct st.Obs.Metrics.hs_p90)
+            (pct st.Obs.Metrics.hs_p99) st.Obs.Metrics.hs_max)
         (Obs.Metrics.histograms m);
       let heats = Obs.Metrics.heatmaps m in
       (match List.assoc_opt "page_faults" heats with
@@ -487,14 +536,52 @@ let metrics_out_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics-out" ] ~docv:"FILE" ~doc)
 
+(* The --kv-* knobs for --app kvstore, bundled into one term so [run]'s
+   already-long signature grows by a single argument. [None] means "keep the
+   scale's default"; value checking lives in [Traffic.validate] /
+   [Kvstore.body]. *)
+let kv_term =
+  let ops =
+    let doc = "kvstore: total operations in the open-loop plan." in
+    Arg.(value & opt (some int) None & info [ "kv-ops" ] ~docv:"N" ~doc)
+  in
+  let rate =
+    let doc = "kvstore: offered load in operations per simulated second." in
+    Arg.(value & opt (some float) None & info [ "kv-rate" ] ~docv:"OPS_S" ~doc)
+  in
+  let keys =
+    let doc = "kvstore: key-space size." in
+    Arg.(value & opt (some int) None & info [ "kv-keys" ] ~docv:"N" ~doc)
+  in
+  let theta =
+    let doc = "kvstore: Zipfian skew theta in [0,1); 0 is uniform." in
+    Arg.(value & opt (some float) None & info [ "kv-theta" ] ~docv:"T" ~doc)
+  in
+  let write_ratio =
+    let doc = "kvstore: fraction of non-transaction operations that are puts." in
+    Arg.(value & opt (some float) None & info [ "kv-write-ratio" ] ~docv:"P" ~doc)
+  in
+  let txn_ratio =
+    let doc = "kvstore: fraction of operations that are two-key transactions." in
+    Arg.(value & opt (some float) None & info [ "kv-txn-ratio" ] ~docv:"P" ~doc)
+  in
+  let buckets =
+    let doc = "kvstore: bucket count (one SVM page per bucket)." in
+    Arg.(value & opt (some int) None & info [ "kv-buckets" ] ~docv:"N" ~doc)
+  in
+  let pack ops rate keys theta write_ratio txn_ratio buckets =
+    (ops, rate, keys, theta, write_ratio, txn_ratio, buckets)
+  in
+  Term.(const pack $ ops $ rate $ keys $ theta $ write_ratio $ txn_ratio $ buckets)
+
 (* Bad flag values surface as [Failure]/[Invalid_argument] (from the parsers
    above, [Chaos.validate], or [Config.make]); turn them into a clean
    one-line error and a nonzero exit instead of a backtrace. *)
 let run_safe a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 i2 j2
-    k2 l2 m2 n2 =
+    k2 l2 m2 n2 o2 =
   try
     run a b c d e g h i j k l m n o p q s t u v w x y z a2 b2 c2 d2 e2 f2 g2 h2 i2 j2 k2 l2
-      m2 n2
+      m2 n2 o2
   with
   | Failure msg | Invalid_argument msg ->
       Printf.eprintf "svm_run: %s\n" msg;
@@ -515,6 +602,6 @@ let cmd =
       $ kill_at_arg $ detect_delay_arg $ pause_node_arg $ pause_at_arg $ resume_at_arg
       $ partition_arg $ partition_at_arg $ heal_at_arg $ detector_arg $ hb_interval_arg
       $ hb_timeout_arg $ replicas_arg $ repl_scheme_arg $ metrics_arg $ metrics_interval_arg
-      $ metrics_out_arg)
+      $ metrics_out_arg $ kv_term)
 
 let () = exit (Cmd.eval cmd)

@@ -27,10 +27,25 @@ val water_spatial : scale -> t
 
 val raytrace : scale -> t
 
-(** The paper's five applications (its Table 1), in its order. *)
+(** Sharded key-value store serving workload (open-loop Zipfian traffic);
+    see {!Kvstore}. *)
+val kvstore : scale -> t
+
+(** The scale-default kvstore parameters — the base the CLIs' [--kv-*]
+    overrides patch before {!kvstore_of_params}. *)
+val kvstore_params : scale -> Kvstore.params
+
+val kvstore_of_params : Kvstore.params -> t
+
+(** The paper's five applications (its Table 1), in its order — the set
+    the bench tables/figures sweep. The serving workload is not included
+    (it has no speedup-vs-sequential story); reach it via {!find}. *)
 val all : scale -> t list
 
 (** Look up by CLI name; see {!names}. *)
 val find : string -> scale -> t option
 
+(** Every registered application name, in CLI order. [find] succeeds on
+    exactly these; derive usage/error text from this list rather than
+    hardcoding it. *)
 val names : string list

@@ -88,3 +88,13 @@ let start_timing ctx =
   node.System.start_breakdown <- Stats.breakdown_copy node.System.stats.Stats.b;
   node.System.start_counters <- Stats.counters_copy node.System.stats.Stats.c;
   Mem.Accounting.reset_peak node.System.stats.Stats.proto_mem
+
+let now ctx = ctx.node.System.mach.Machine.Node.ck.Machine.Node.clock
+
+let idle_until ctx at =
+  let t = now ctx in
+  if at > t then System.charge_idle ctx.node (at -. t)
+
+let record_op ctx kind ~issued_at =
+  let latency = now ctx -. issued_at in
+  System.record_op ctx.sys ctx.node kind ~latency:(max 0. latency)

@@ -74,3 +74,18 @@ val compute : ctx -> float -> unit
     run's report are relative to this call. Call it at the same point in
     every process, right after a barrier. *)
 val start_timing : ctx -> unit
+
+(** The calling node's virtual clock, in microseconds. *)
+val now : ctx -> float
+
+(** [idle_until ctx at] advances the node's clock to [at] (a no-op when
+    already past it): open-loop think time between scheduled arrivals.
+    Unlike {!compute}, the chaos straggler multiplier does not apply —
+    waiting for the wall clock is not processor work. *)
+val idle_until : ctx -> float -> unit
+
+(** [record_op ctx kind ~issued_at] logs one completed serving operation
+    with latency [now ctx - issued_at] (clamped at 0) into the run's
+    serving log — surfaced as the report's [serving] block and, when
+    metrics are on, the [op_latency_us] histogram. *)
+val record_op : ctx -> System.op_kind -> issued_at:float -> unit

@@ -245,7 +245,18 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
       let stalls = Array.of_list r.r_failover_stalls in
       let n = Array.length stalls in
       let total = Array.fold_left ( +. ) 0. stalls in
-      let pct p = Stats.quantile stalls p in
+      (* No stalls means the percentiles are undefined, not 0: omit the
+         fields so a genuinely 0-microsecond stall stays distinguishable. *)
+      let stall_stats =
+        match Stats.quantile stalls 0.99 with
+        | None -> []
+        | Some p99 ->
+            [
+              ("stall_mean_us", f (total /. float_of_int n));
+              ("stall_p99_us", f p99);
+              ("stall_max_us", f stalls.(n - 1));
+            ]
+      in
       [
         ( "availability",
           Obj
@@ -254,11 +265,9 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
               ("msg_peer_dead", Int (sum_counter r (fun c -> c.Stats.msg_peer_dead)));
               ("msg_gave_up", Int (sum_counter r (fun c -> c.Stats.msg_gave_up)));
               ("recovery_stalls", Int n);
-              ("stall_mean_us", f (if n = 0 then 0. else total /. float_of_int n));
-              ("stall_p99_us", f (pct 0.99));
-              ("stall_max_us", f (if n = 0 then 0. else stalls.(n - 1)));
-              ("mem_digest", String (Printf.sprintf "%016Lx" r.r_mem_digest));
             ]
+            @ stall_stats
+            @ [ ("mem_digest", String (Printf.sprintf "%016Lx" r.r_mem_digest)) ]
             @
             if not detect then []
             else
@@ -269,6 +278,43 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
               ]) )
       ]
     end
+  in
+  let serving_totals =
+    match r.r_ops with
+    | None -> []
+    | Some ops ->
+        let lats = ops.Runtime.or_lats in
+        let n = Array.length lats in
+        (* [or_lats] is sorted ascending, as {!Stats.quantile} requires.
+           Latency percentiles are omitted when no op completed, same
+           convention as the availability stall percentiles. *)
+        let lat_stats =
+          match (Stats.quantile lats 0.5, Stats.quantile lats 0.99) with
+          | Some p50, Some p99 ->
+              [
+                ("lat_mean_us", f (Array.fold_left ( +. ) 0. lats /. float_of_int n));
+                ("lat_p50_us", f p50);
+                ("lat_p99_us", f p99);
+                ("lat_max_us", f lats.(n - 1));
+              ]
+          | _ -> []
+        in
+        [
+          ( "serving",
+            Obj
+              ([
+                 ("ops", Int n);
+                 ("gets", Int ops.Runtime.or_gets);
+                 ("puts", Int ops.Runtime.or_puts);
+                 ("txns", Int ops.Runtime.or_txns);
+                 ( "throughput_ops_per_s",
+                   f
+                     (if r.r_elapsed > 0. then
+                        float_of_int n /. (r.r_elapsed /. 1_000_000.)
+                      else 0.) );
+               ]
+              @ lat_stats) )
+        ]
   in
   let chaos_totals =
     if not chaos then []
@@ -310,7 +356,7 @@ let encode ?meta ?critical_path ?trace (r : Runtime.report) =
              ("mem_peak", Int (Runtime.max_mem_peak r));
              ("mean_compute_us", f (Runtime.mean_compute r));
            ]
-          @ repl_totals @ availability_totals @ chaos_totals) );
+          @ serving_totals @ repl_totals @ availability_totals @ chaos_totals) );
       ( "nodes",
         List
           (Array.to_list
@@ -461,6 +507,31 @@ let check_replication_totals totals =
         (fun name -> Result.map ignore (want_int "totals.replication" rp name))
         [ "repl_updates"; "repl_invals"; "repl_bytes" ]
 
+let check_serving_totals totals =
+  match member "serving" totals with
+  | None -> Ok ()
+  | Some sv ->
+      let* ops = want_int "totals.serving" sv "ops" in
+      let* () =
+        each
+          (fun name -> Result.map ignore (want_int "totals.serving" sv name))
+          [ "gets"; "puts"; "txns" ]
+      in
+      let* _ = want_num "totals.serving" sv "throughput_ops_per_s" in
+      (* Latency percentiles accompany a non-empty op log and must be
+         absent from an empty one. *)
+      if ops = 0 then
+        each
+          (fun name ->
+            match member name sv with
+            | None -> Ok ()
+            | Some _ -> fail "totals.serving.%s: present with zero ops" name)
+          [ "lat_mean_us"; "lat_p50_us"; "lat_p99_us"; "lat_max_us" ]
+      else
+        each
+          (fun name -> Result.map ignore (want_num "totals.serving" sv name))
+          [ "lat_mean_us"; "lat_p50_us"; "lat_p99_us"; "lat_max_us" ]
+
 let check_availability_totals totals =
   match member "availability" totals with
   | None -> Ok ()
@@ -470,10 +541,23 @@ let check_availability_totals totals =
           (fun name -> Result.map ignore (want_int "totals.availability" av name))
           [ "failovers"; "msg_peer_dead"; "recovery_stalls" ]
       in
+      (* Stall percentiles are present iff at least one stall was
+         recorded; requiring them here would force the encoder back to
+         faking a 0 for the empty set. *)
+      let* stalls = want_int "totals.availability" av "recovery_stalls" in
       let* () =
-        each
-          (fun name -> Result.map ignore (want_num "totals.availability" av name))
-          [ "stall_mean_us"; "stall_p99_us"; "stall_max_us" ]
+        if stalls = 0 then
+          each
+            (fun name ->
+              match member name av with
+              | None -> Ok ()
+              | Some _ ->
+                  fail "totals.availability.%s: present with zero recovery_stalls" name)
+            [ "stall_mean_us"; "stall_p99_us"; "stall_max_us" ]
+        else
+          each
+            (fun name -> Result.map ignore (want_num "totals.availability" av name))
+            [ "stall_mean_us"; "stall_p99_us"; "stall_max_us" ]
       in
       let* _ = want_string "totals.availability" av "mem_digest" in
       Ok ()
@@ -562,7 +646,23 @@ let check_timeline j =
               let* () =
                 each
                   (fun fld -> Result.map ignore (want_num "timeline.histograms" h fld))
-                  [ "sum"; "max"; "p50"; "p90"; "p99" ]
+                  [ "sum"; "max" ]
+              in
+              (* Percentile fields accompany a non-empty histogram and
+                 must be absent from an empty one. *)
+              let* () =
+                if count = 0 then
+                  each
+                    (fun fld ->
+                      match member fld h with
+                      | None -> Ok ()
+                      | Some _ ->
+                          fail "timeline.histograms[%s].%s: present with count 0" name fld)
+                    [ "p50"; "p90"; "p99" ]
+                else
+                  each
+                    (fun fld -> Result.map ignore (want_num "timeline.histograms" h fld))
+                    [ "p50"; "p90"; "p99" ]
               in
               let* bs = want_list "timeline.histograms" h "buckets" in
               let* () =
@@ -662,6 +762,7 @@ let validate j =
         let* _ = want_int "totals" totals "protocol_bytes" in
         let* _ = want_int "totals" totals "mem_peak" in
         let* _ = want_num "totals" totals "mean_compute_us" in
+        let* () = check_serving_totals totals in
         let* () = check_chaos_totals totals in
         let* () = check_replication_totals totals in
         let* () = check_availability_totals totals in

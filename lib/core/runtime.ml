@@ -10,6 +10,16 @@ type node_report = {
 
 type transport_report = { tr_inflight : int; tr_gave_up : int }
 
+type ops_report = {
+  or_gets : int;
+  or_puts : int;
+  or_txns : int;
+  or_lats : float array;
+      (* completion latencies of every op, sorted ascending; the multiset
+         is a pure function of the traffic plan, so the sorted array is
+         identical however the nodes interleaved *)
+}
+
 type report = {
   r_config : Config.t;
   r_elapsed : float;
@@ -22,6 +32,8 @@ type report = {
       (* per re-routed fetch: resume time minus failover time, ascending *)
   r_metrics : Obs.Metrics.t option;
       (* the sampled flight recorder, iff metrics_interval > 0 *)
+  r_ops : ops_report option;
+      (* serving-workload op log, iff the app recorded operations *)
 }
 
 let start_process sys (node : System.node_state) app =
@@ -263,6 +275,26 @@ let collect sys =
             });
     r_failover_stalls = List.sort compare sys.System.failover_stalls;
     r_metrics = System.metrics_registry sys;
+    r_ops =
+      (match System.serving_log sys with
+      | None -> None
+      | Some s ->
+          let n = Array.fold_left (fun acc l -> acc + List.length l) 0 s.System.sv_lats in
+          let lats = Array.make n 0. in
+          let i = ref 0 in
+          Array.iter
+            (List.iter (fun v ->
+                 lats.(!i) <- v;
+                 incr i))
+            s.System.sv_lats;
+          Array.sort Float.compare lats;
+          Some
+            {
+              or_gets = s.System.sv_gets;
+              or_puts = s.System.sv_puts;
+              or_txns = s.System.sv_txns;
+              or_lats = lats;
+            });
   }
 
 let run ?trace ?sink cfg app =

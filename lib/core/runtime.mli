@@ -22,6 +22,18 @@ type node_report = {
     themselves lost, which is benign once every process finished). *)
 type transport_report = { tr_inflight : int; tr_gave_up : int }
 
+(** Serving-workload results (kvstore): op-kind counts and the completion
+    latency of every operation, sorted ascending — ready for
+    {!Stats.quantile}. The latency multiset is a pure function of the
+    traffic plan, so the sorted array is deterministic regardless of how
+    the nodes interleaved. *)
+type ops_report = {
+  or_gets : int;
+  or_puts : int;
+  or_txns : int;
+  or_lats : float array;
+}
+
 type report = {
   r_config : Config.t;
   r_elapsed : float;  (** Parallel execution time = max node elapsed. *)
@@ -42,6 +54,10 @@ type report = {
           events inflate [r_events] relative to a metrics-off run; every
           simulated outcome — elapsed, counters, memory digest — is
           unchanged). *)
+  r_ops : ops_report option;
+      (** [Some] iff the app recorded serving operations
+          ({!Api.record_op}); absent for the scientific kernels, so their
+          reports are byte-identical to before. *)
 }
 
 (** Total computation time across nodes divided by node count: with one

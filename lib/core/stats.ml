@@ -183,11 +183,13 @@ let epoch_deltas t =
 (* Nearest-rank quantile: the smallest element with cumulative rank >=
    ceil (p * n), i.e. sorted.(ceil (p*n) - 1) with the index clamped into
    [0, n-1]. No interpolation: the result is always an observed value, and
-   p = 1.0 is the maximum. 0 on the empty array. *)
+   p = 1.0 is the maximum. None on the empty array — an absent sample set
+   must stay distinguishable from a genuine 0-valued one. *)
 let quantile sorted p =
   let n = Array.length sorted in
-  if n = 0 then 0.
-  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
+  if n = 0 then None
+  else
+    Some sorted.(min (n - 1) (max 0 (int_of_float (ceil (p *. float_of_int n)) - 1)))
 
 let pp_breakdown ppf b =
   Format.fprintf ppf

@@ -98,9 +98,10 @@ val epoch_deltas : t -> breakdown list
 (** [quantile sorted p] is the nearest-rank quantile of an {e ascending}
     sorted array: the element at rank [ceil (p * n)] (1-based, clamped to
     [[1, n]]), so the result is always an observed value and [p = 1.] is
-    the maximum; [0.] on the empty array. This is the convention used by
-    the report's availability percentiles and mirrored by the log2
-    histogram quantiles in [Obs.Metrics]. *)
-val quantile : float array -> float -> float
+    the maximum; [None] on the empty array, so an absent sample set can
+    never be confused with a genuine 0-valued sample. This is the
+    convention used by the report's availability and serving percentiles
+    and mirrored by the log2 histogram quantiles in [Obs.Metrics]. *)
+val quantile : float array -> float -> float option
 
 val pp_breakdown : Format.formatter -> breakdown -> unit

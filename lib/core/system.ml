@@ -170,9 +170,23 @@ type metrics_set = {
   ms_barrier_us : Obs.Metrics.histogram;
   ms_backoff_us : Obs.Metrics.histogram;
   ms_stall_us : Obs.Metrics.histogram;
+  ms_op_us : Obs.Metrics.histogram;
   ms_fault_heat : Obs.Metrics.heatmap;
   ms_diff_heat : Obs.Metrics.heatmap;
   ms_home_heat : Obs.Metrics.heatmap;
+}
+
+(* Serving-workload accumulator (kvstore): per-node latency logs plus op
+   kind counts, allocated lazily at the first recorded operation so every
+   non-serving run carries a single [None]. Latencies are kept per node —
+   recording is a cons — and merged into one sorted array at collect. *)
+type op_kind = Op_get | Op_put | Op_txn
+
+type serving = {
+  sv_lats : float list array;  (* per node, newest first *)
+  mutable sv_gets : int;
+  mutable sv_puts : int;
+  mutable sv_txns : int;
 }
 
 type t = {
@@ -240,6 +254,9 @@ type t = {
   mutable metrics : metrics_set option;
       (* sampled flight recorder; installed iff [metrics_interval] > 0, so
          default runs carry no metrics code on any path *)
+  mutable serving : serving option;
+      (* per-op latency accumulator; installed lazily at the first
+         [record_op], so non-serving apps pay nothing *)
 }
 
 (* The effects through which application processes enter the runtime. Only
@@ -471,6 +488,7 @@ let create (cfg : Config.t) =
       chaos;
       transport = None;
       metrics = None;
+      serving = None;
     }
   in
   (match chaos with
@@ -529,6 +547,7 @@ let install_metrics t reg =
   let ms_barrier_us = histogram reg "barrier_wait_us" in
   let ms_backoff_us = histogram reg "retransmit_backoff_us" in
   let ms_stall_us = histogram reg "recovery_stall_us" in
+  let ms_op_us = histogram reg "op_latency_us" in
   let ms_fault_heat = heatmap reg "page_faults" in
   let ms_diff_heat = heatmap reg "page_diffs" in
   let ms_home_heat = heatmap reg "page_home" in
@@ -551,6 +570,7 @@ let install_metrics t reg =
         ms_barrier_us;
         ms_backoff_us;
         ms_stall_us;
+        ms_op_us;
         ms_fault_heat;
         ms_diff_heat;
         ms_home_heat;
@@ -699,6 +719,46 @@ let charge_gc node dt =
   ck.Machine.Node.clock <- ck.Machine.Node.clock +. dt;
   node.stats.Stats.b.Stats.gc <- node.stats.Stats.b.Stats.gc +. dt;
   if node.blocked <> None then node.wait_services <- node.wait_services +. dt
+
+(* Open-loop idle: wall-clock waiting for the next scheduled arrival, not
+   processor work, so the straggler multiplier does not apply — a slow CPU
+   doesn't make the wait for the wall clock longer. Billed to the compute
+   bucket (the node is "thinking", not blocked on the protocol). *)
+let charge_idle node dt =
+  let ck = node.mach.Machine.Node.ck in
+  ck.Machine.Node.clock <- ck.Machine.Node.clock +. dt;
+  let b = node.stats.Stats.b in
+  b.Stats.compute <- b.Stats.compute +. dt
+
+(* ------------------------------------------------------------------ *)
+(* Serving-workload operation log                                     *)
+
+let record_op t node kind ~latency =
+  let s =
+    match t.serving with
+    | Some s -> s
+    | None ->
+        let s =
+          {
+            sv_lats = Array.make (Array.length t.nodes) [];
+            sv_gets = 0;
+            sv_puts = 0;
+            sv_txns = 0;
+          }
+        in
+        t.serving <- Some s;
+        s
+  in
+  s.sv_lats.(node.id) <- latency :: s.sv_lats.(node.id);
+  (match kind with
+  | Op_get -> s.sv_gets <- s.sv_gets + 1
+  | Op_put -> s.sv_puts <- s.sv_puts + 1
+  | Op_txn -> s.sv_txns <- s.sv_txns + 1);
+  match t.metrics with
+  | Some ms -> Obs.Metrics.observe ms.ms_op_us latency
+  | None -> ()
+
+let serving_log t = t.serving
 
 (* ------------------------------------------------------------------ *)
 (* Messages                                                           *)

@@ -146,6 +146,18 @@ type recovery = {
     through {!metrics_registry} and the recording hooks below. *)
 type metrics_set
 
+(** Serving-workload operation log: per-node completion latencies plus op
+    kind counts, allocated lazily at the first {!record_op} so non-serving
+    runs carry a single [None]. *)
+type op_kind = Op_get | Op_put | Op_txn
+
+type serving = {
+  sv_lats : float list array;  (** Per node, newest first. *)
+  mutable sv_gets : int;
+  mutable sv_puts : int;
+  mutable sv_txns : int;
+}
+
 type t = {
   cfg : Config.t;
   layout : Mem.Layout.t;
@@ -196,6 +208,9 @@ type t = {
   mutable metrics : metrics_set option;
       (** Sampled flight recorder; installed iff [metrics_interval] > 0, so
           default runs carry no metrics work on any path. *)
+  mutable serving : serving option;
+      (** Serving-workload op log; installed lazily at the first
+          {!record_op}. *)
 }
 
 (** The effects through which application processes enter the runtime; only
@@ -328,6 +343,17 @@ val charge_compute : node_state -> float -> unit
 val charge_protocol : node_state -> float -> unit
 
 val charge_gc : node_state -> float -> unit
+
+(** Open-loop idle until the next scheduled arrival: wall-clock waiting,
+    so the chaos straggler multiplier does {e not} apply. *)
+val charge_idle : node_state -> float -> unit
+
+(** Record one completed serving operation ([latency] is completion minus
+    scheduled arrival, in microseconds); feeds {!serving_log} and, when
+    metrics are on, the [op_latency_us] histogram. *)
+val record_op : t -> node_state -> op_kind -> latency:float -> unit
+
+val serving_log : t -> serving option
 
 (** {1 Messages and request service} *)
 

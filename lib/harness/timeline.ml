@@ -67,12 +67,14 @@ let failover_block ppf ~victim ~kill_at ok failover =
   spark_line ppf "retransmits" "kill" failover "retransmits";
   (match List.assoc_opt "recovery_stall_us" (Obs.Metrics.histograms (metrics failover)) with
   | None -> ()
-  | Some h ->
+  | Some h -> (
       let s = Obs.Metrics.histogram_stats h in
-      Format.fprintf ppf
-        "  recovery stall: %d waiters, p50 <= %.0f us, p99 <= %.0f us, max %.0f us@."
-        s.Obs.Metrics.hs_count s.Obs.Metrics.hs_p50 s.Obs.Metrics.hs_p99
-        s.Obs.Metrics.hs_max);
+      match (s.Obs.Metrics.hs_p50, s.Obs.Metrics.hs_p99) with
+      | Some p50, Some p99 ->
+          Format.fprintf ppf
+            "  recovery stall: %d waiters, p50 <= %.0f us, p99 <= %.0f us, max %.0f us@."
+            s.Obs.Metrics.hs_count p50 p99 s.Obs.Metrics.hs_max
+      | _ -> Format.fprintf ppf "  recovery stall: no waiters@."));
   let failovers =
     Array.fold_left
       (fun acc n -> acc + n.Svm.Runtime.nr_counters.Svm.Stats.failovers)

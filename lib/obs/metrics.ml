@@ -198,9 +198,10 @@ let series_total t name =
 
 (* Nearest-rank quantile over the log2 buckets, same convention as
    Stats.quantile: rank = ceil (p * count) clamped to [1, count]; report
-   the inclusive upper edge of the bucket holding that rank. *)
+   the inclusive upper edge of the bucket holding that rank. None on an
+   empty histogram. *)
 let quantile_upper h p =
-  if h.h_count = 0 then 0.
+  if h.h_count = 0 then None
   else begin
     let rank =
       min h.h_count (max 1 (int_of_float (ceil (p *. float_of_int h.h_count))))
@@ -210,16 +211,16 @@ let quantile_upper h p =
       seen := !seen + h.h_counts.(!b);
       if !seen < rank then incr b
     done;
-    bucket_upper (min !b 63)
+    Some (bucket_upper (min !b 63))
   end
 
 type histogram_stats = {
   hs_count : int;
   hs_sum : float;
   hs_max : float;
-  hs_p50 : float;
-  hs_p90 : float;
-  hs_p99 : float;
+  hs_p50 : float option;
+  hs_p90 : float option;
+  hs_p99 : float option;
 }
 
 let histogram_stats h =
@@ -273,21 +274,33 @@ let to_json t =
     List.map
       (fun (name, h) ->
         let s = histogram_stats h in
+        (* Percentiles of an empty histogram are undefined: omit the
+           fields rather than encode a fake 0. *)
+        let pcts =
+          match (s.hs_p50, s.hs_p90, s.hs_p99) with
+          | Some p50, Some p90, Some p99 ->
+              [
+                ("p50", Json.Float p50);
+                ("p90", Json.Float p90);
+                ("p99", Json.Float p99);
+              ]
+          | _ -> []
+        in
         Json.Obj
-          [
-            ("name", Json.String name);
-            ("count", Json.Int s.hs_count);
-            ("sum", Json.Float s.hs_sum);
-            ("max", Json.Float s.hs_max);
-            ("p50", Json.Float s.hs_p50);
-            ("p90", Json.Float s.hs_p90);
-            ("p99", Json.Float s.hs_p99);
+          ([
+             ("name", Json.String name);
+             ("count", Json.Int s.hs_count);
+             ("sum", Json.Float s.hs_sum);
+             ("max", Json.Float s.hs_max);
+           ]
+          @ pcts
+          @ [
             ( "buckets",
               Json.List
                 (List.map
                    (fun (le, count) -> Json.Obj [ ("le", Json.Float le); ("count", Json.Int count) ])
                    (histogram_buckets h)) );
-          ])
+          ]))
       (histograms t)
   in
   let heat_json =

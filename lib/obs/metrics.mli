@@ -99,17 +99,19 @@ type histogram_stats = {
   hs_count : int;
   hs_sum : float;
   hs_max : float;  (** Exact maximum observed (not an edge). *)
-  hs_p50 : float;
-  hs_p90 : float;
-  hs_p99 : float;  (** Nearest-rank bucket upper edges; 0 when empty. *)
+  hs_p50 : float option;
+  hs_p90 : float option;
+  hs_p99 : float option;
+      (** Nearest-rank bucket upper edges; [None] when the histogram is
+          empty (percentiles of nothing are undefined, not 0). *)
 }
 
 val histogram_stats : histogram -> histogram_stats
 
 (** Nearest-rank quantile over the log2 buckets: the inclusive upper edge
     of the bucket holding rank [ceil (p * count)] (clamped to [1, count]);
-    0 on an empty histogram. *)
-val quantile_upper : histogram -> float -> float
+    [None] on an empty histogram. *)
+val quantile_upper : histogram -> float -> float option
 
 (** Non-empty [(upper_edge, count)] buckets, ascending. *)
 val histogram_buckets : histogram -> (float * int) list
@@ -130,7 +132,8 @@ val heatmaps : t -> (string * heatmap) list
     [{"interval_us", "buckets", "series": [{name; kind; per_node; rows}],
       "histograms": [{name; count; sum; max; p50; p90; p99;
                       buckets: [{le; count}]}],
-      "heatmaps": [{name; pages: [{page; value}]}]}]. *)
+      "heatmaps": [{name; pages: [{page; value}]}]}].
+    The [p50]/[p90]/[p99] fields are omitted when [count = 0]. *)
 val to_json : t -> Json.t
 
 (** Long-format CSV of the time series (histograms and heatmaps live in

@@ -43,3 +43,62 @@ let float t bound =
   let bits = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
   (* 2^53 possible values in [0, 1). *)
   bound *. (bits /. 9007199254740992.0)
+
+(* Zipfian sampler after Gray et al., "Quickly generating billion-record
+   synthetic databases" (SIGMOD 1994), as popularized by YCSB: the
+   harmonic normalizer [zetan] is computed once at construction, after
+   which each draw costs one uniform and one [**]. Rank 0 is the most
+   popular key; [theta = 0] degenerates to the uniform distribution. *)
+
+type zipf = {
+  z_n : int;
+  z_theta : float;
+  z_zetan : float;
+  z_alpha : float;
+  z_eta : float;
+  z_half_pow : float; (* 0.5 ** theta *)
+}
+
+let zipf_create ~n ~theta =
+  if n < 1 then invalid_arg "Rng.zipf_create: n must be >= 1";
+  if theta < 0. || theta >= 1. then
+    invalid_arg "Rng.zipf_create: theta must be in [0, 1)";
+  let zetan = ref 0. in
+  for i = 1 to n do
+    zetan := !zetan +. (1. /. (float_of_int i ** theta))
+  done;
+  let zetan = !zetan in
+  let half_pow = 0.5 ** theta in
+  let zeta2 = 1. +. half_pow in
+  (* For n <= 2 the two explicit branches in [zipf] cover every draw, so
+     [eta] is never consulted; guard the 0/0 it would otherwise be. *)
+  let eta =
+    if n <= 2 then 0.
+    else
+      (1. -. ((2. /. float_of_int n) ** (1. -. theta)))
+      /. (1. -. (zeta2 /. zetan))
+  in
+  {
+    z_n = n;
+    z_theta = theta;
+    z_zetan = zetan;
+    z_alpha = 1. /. (1. -. theta);
+    z_eta = eta;
+    z_half_pow = half_pow;
+  }
+
+let zipf_n z = z.z_n
+let zipf_theta z = z.z_theta
+
+let zipf t z =
+  let u = float t 1.0 in
+  let uz = u *. z.z_zetan in
+  if uz < 1. then 0
+  else if uz < 1. +. z.z_half_pow then 1
+  else
+    let r =
+      int_of_float
+        (float_of_int z.z_n *. (((z.z_eta *. u) -. z.z_eta +. 1.) ** z.z_alpha))
+    in
+    (* Floating-point edge as u -> 1 can land exactly on n. *)
+    if r >= z.z_n then z.z_n - 1 else if r < 0 then 0 else r

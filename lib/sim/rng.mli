@@ -21,3 +21,24 @@ val float : t -> float -> float
 
 (** [bits64 t] draws 64 uniformly random bits. *)
 val bits64 : t -> int64
+
+(** {1 Zipfian sampling}
+
+    Constant-time Zipfian rank sampler after Gray et al. (SIGMOD 1994),
+    the YCSB workload-generator construction: the harmonic normalizer is
+    precomputed once, so each draw costs one uniform variate. *)
+
+type zipf
+
+(** [zipf_create ~n ~theta] prepares a sampler over ranks
+    [0 .. n-1] with skew [theta]. Rank 0 is the most popular;
+    [theta = 0.] degenerates to the uniform distribution and skew grows
+    with [theta]. Raises [Invalid_argument] unless [n >= 1] and
+    [theta] is in [\[0, 1)]. *)
+val zipf_create : n:int -> theta:float -> zipf
+
+(** [zipf t z] draws a rank in [0 .. n-1], consuming one variate of [t]. *)
+val zipf : t -> zipf -> int
+
+val zipf_n : zipf -> int
+val zipf_theta : zipf -> float

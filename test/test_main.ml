@@ -27,4 +27,5 @@ let () =
       ("failover", Test_failover.suite);
       ("detector", Test_detector.suite);
       ("metrics", Test_metrics.suite);
+      ("kvstore", Test_kvstore.suite);
     ]

@@ -29,28 +29,30 @@ let test_histogram_boundaries () =
   check Alcotest.int "count" 5 s.Obs.Metrics.hs_count;
   check (Alcotest.float 1e20) "max is the exact observation" 1e30 s.Obs.Metrics.hs_max;
   (* ranks over counts [1;1;2;1]: p50 -> rank 3 -> the le=8 bucket *)
-  check (Alcotest.float 1e-6) "p50 upper edge" 8. s.Obs.Metrics.hs_p50
+  check Alcotest.(option (float 1e-6)) "p50 upper edge" (Some 8.) s.Obs.Metrics.hs_p50
 
 let test_histogram_empty () =
   let m = Obs.Metrics.create ~interval:10. ~nnodes:1 in
   let h = Obs.Metrics.histogram m "lat" in
   let s = Obs.Metrics.histogram_stats h in
   check Alcotest.int "count" 0 s.Obs.Metrics.hs_count;
-  check (Alcotest.float 0.) "p99 of empty" 0. s.Obs.Metrics.hs_p99;
+  check Alcotest.(option (float 0.)) "p99 of empty is None" None s.Obs.Metrics.hs_p99;
+  check Alcotest.(option (float 0.)) "p50 of empty is None" None s.Obs.Metrics.hs_p50;
   check Alcotest.(list (pair (float 0.) int)) "no buckets" [] (Obs.Metrics.histogram_buckets h)
 
 (* --- Stats.quantile (nearest rank) -------------------------------- *)
 
 let test_quantile () =
   let a = [| 1.; 2.; 3.; 4. |] in
-  check (Alcotest.float 0.) "p0 clamps to the minimum" 1. (Svm.Stats.quantile a 0.);
-  check (Alcotest.float 0.) "p25 is rank 1" 1. (Svm.Stats.quantile a 0.25);
-  check (Alcotest.float 0.) "p50 is rank 2" 2. (Svm.Stats.quantile a 0.5);
-  check (Alcotest.float 0.) "p51 is rank 3" 3. (Svm.Stats.quantile a 0.51);
-  check (Alcotest.float 0.) "p99 is the maximum here" 4. (Svm.Stats.quantile a 0.99);
-  check (Alcotest.float 0.) "p100 is the maximum" 4. (Svm.Stats.quantile a 1.);
-  check (Alcotest.float 0.) "empty array" 0. (Svm.Stats.quantile [||] 0.5);
-  check (Alcotest.float 0.) "singleton" 7. (Svm.Stats.quantile [| 7. |] 0.5)
+  let q = Alcotest.(option (float 0.)) in
+  check q "p0 clamps to the minimum" (Some 1.) (Svm.Stats.quantile a 0.);
+  check q "p25 is rank 1" (Some 1.) (Svm.Stats.quantile a 0.25);
+  check q "p50 is rank 2" (Some 2.) (Svm.Stats.quantile a 0.5);
+  check q "p51 is rank 3" (Some 3.) (Svm.Stats.quantile a 0.51);
+  check q "p99 is the maximum here" (Some 4.) (Svm.Stats.quantile a 0.99);
+  check q "p100 is the maximum" (Some 4.) (Svm.Stats.quantile a 1.);
+  check q "empty array is None, not 0" None (Svm.Stats.quantile [||] 0.5);
+  check q "singleton" (Some 7.) (Svm.Stats.quantile [| 7. |] 0.5)
 
 (* --- counter bucketing and gauge forward-fill ---------------------- *)
 
